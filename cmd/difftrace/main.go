@@ -1,0 +1,199 @@
+// Command difftrace is the DiffTrace analysis front end: it diffs a normal
+// execution's trace file against a faulty one (both produced by
+// cmd/tracegen, or by any tool emitting the same text format) and reports
+// suspicious traces, B-scores, and diffNLR views.
+//
+// One parameter combination:
+//
+//	difftrace -normal normal.trace -faulty faulty.trace \
+//	    -filter 11.mpiall.0K10 -attr sing.actual -linkage ward -diffnlr 5.0
+//
+// A ranking-table sweep over several filters and every attribute config:
+//
+//	difftrace -normal n.trace -faulty f.trace \
+//	    -sweep 11.mpi.cust.0K10,11.mpicol.cust.0K10 -custom '^CPU_'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"difftrace/internal/attr"
+	"difftrace/internal/automaded"
+	"difftrace/internal/cluster"
+	"difftrace/internal/core"
+	"difftrace/internal/filter"
+	"difftrace/internal/parlot"
+	"difftrace/internal/progress"
+	"difftrace/internal/rank"
+	"difftrace/internal/stat"
+	"difftrace/internal/trace"
+)
+
+func main() {
+	normalPath := flag.String("normal", "", "trace file of the normal execution (required)")
+	faultyPath := flag.String("faulty", "", "trace file of the faulty execution (required)")
+	filterSpec := flag.String("filter", "11.mpiall.0K10", "filter spec (see Table I; e.g. 11.plt.mem.cust.0K10)")
+	attrSpec := flag.String("attr", "sing.noFreq", "attribute config: {sing|doub}.{actual|log10|noFreq}")
+	linkageName := flag.String("linkage", "ward", "linkage: single|complete|average|weighted|centroid|median|ward")
+	custom := flag.String("custom", "", "comma-separated custom regexps for the 'cust' filter category")
+	diffTarget := flag.String("diffnlr", "", "render diffNLR for this trace (e.g. 5.0) or process (e.g. 5)")
+	sweep := flag.String("sweep", "", "comma-separated filter specs: run the full ranking-table sweep instead")
+	top := flag.Int("top", 6, "suspects to list")
+	showHeatmap := flag.Bool("heatmap", false, "print the JSM_D heatmap")
+	showLattice := flag.Bool("lattice", false, "build and print the faulty run's concept lattice (thread level)")
+	color := flag.Bool("color", false, "ANSI colors in diffNLR output")
+	report := flag.Bool("report", false, "print the full debugging report (suspects + diffNLRs of the top suspects)")
+	triage := flag.Bool("triage", false, "append the companion analyses: STAT stack classes, AutomaDeD outliers, progress ranking")
+	flag.Parse()
+
+	if *normalPath == "" || *faultyPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *normalPath, *faultyPath, *filterSpec, *attrSpec, *linkageName,
+		*custom, *diffTarget, *sweep, *top, *showHeatmap, *showLattice, *color, *report, *triage); err != nil {
+		fmt.Fprintln(os.Stderr, "difftrace:", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(w io.Writer, normalPath, faultyPath, filterSpec, attrSpec, linkageName, custom,
+	diffTarget, sweep string, top int, showHeatmap, showLattice, color, report, triage bool) error {
+	// Both runs must share one registry so function IDs align.
+	reg := trace.NewRegistry()
+	normal, err := readSet(normalPath, reg)
+	if err != nil {
+		return err
+	}
+	faulty, err := readSet(faultyPath, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "normal: %s   faulty: %s\n", normal, faulty)
+
+	linkage, err := cluster.ParseMethod(linkageName)
+	if err != nil {
+		return err
+	}
+	customs := splitList(custom)
+
+	if sweep != "" {
+		tbl, err := rank.Sweep(normal, faulty, rank.Request{
+			Specs:          splitList(sweep),
+			CustomPatterns: customs,
+			Linkage:        linkage,
+			TopK:           top,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, tbl.Render())
+		return nil
+	}
+
+	flt, err := filter.ParseSpec(filterSpec, customs...)
+	if err != nil {
+		return err
+	}
+	ac, err := attr.ParseConfig(attrSpec)
+	if err != nil {
+		return err
+	}
+	rep, err := core.DiffRun(normal, faulty, core.Config{
+		Filter: flt, Attr: ac, Linkage: linkage, BuildLattices: showLattice,
+	})
+	if err != nil {
+		return err
+	}
+
+	if report {
+		if err := rep.WriteReport(w, core.RenderOptions{
+			TopK:     top,
+			Heatmaps: showHeatmap,
+			Lattices: showLattice,
+			Color:    color,
+		}); err != nil {
+			return err
+		}
+		if triage {
+			writeTriage(w, flt, normal, faulty)
+		}
+		return nil
+	}
+
+	fmt.Fprintf(w, "filter=%s attrs=%s linkage=%s\n", flt, ac, linkage)
+	fmt.Fprintf(w, "B-score (threads):   %.3f\n", rep.Threads.BScore)
+	fmt.Fprintf(w, "B-score (processes): %.3f\n", rep.Processes.BScore)
+	fmt.Fprintf(w, "top thread suspects:  %s\n", strings.Join(rep.Threads.TopSuspects(top, 1e-9), ", "))
+	fmt.Fprintf(w, "top process suspects: %s\n", strings.Join(rep.Processes.TopSuspects(top, 1e-9), ", "))
+
+	if showHeatmap {
+		fmt.Fprintln(w, "\nJSM_D heatmap (threads):")
+		fmt.Fprint(w, rep.Threads.JSMD.Heatmap())
+	}
+	if showLattice && rep.Threads.Faulty.Lattice != nil {
+		fmt.Fprintln(w, "\nconcept lattice (faulty run, threads):")
+		fmt.Fprint(w, rep.Threads.Faulty.Lattice.Render())
+	}
+	if diffTarget != "" {
+		level := rep.Threads
+		if !strings.Contains(diffTarget, ".") {
+			level = rep.Processes
+		}
+		d, err := rep.DiffNLR(level, diffTarget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, d.Render(color))
+	}
+	return nil
+}
+
+// writeTriage appends the companion analyses (§VI's related-work views) to
+// the report: STAT stack classes of the faulty run, AutomaDeD single-run
+// outliers, and the relative progress ranking.
+func writeTriage(w io.Writer, flt *filter.Filter, normal, faulty *trace.TraceSet) {
+	fmt.Fprintln(w, "== companion analyses ==")
+	fmt.Fprintln(w, "STAT stack classes (faulty run):")
+	fmt.Fprint(w, stat.Build(faulty).Render())
+	fn := flt.ApplySet(normal)
+	ff := flt.ApplySet(faulty)
+	fmt.Fprintln(w, "\nAutomaDeD single-run outliers:")
+	fmt.Fprint(w, automaded.Analyze(ff).Render())
+	fmt.Fprintln(w, "")
+	fmt.Fprint(w, progress.Analyze(fn, ff, flt.K).Render())
+}
+
+// readSet loads a trace file in either format, sniffing the binary magic.
+func readSet(path string, reg *trace.Registry) (*trace.TraceSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(5)
+	if err == nil && string(magic) == "PLOT1" {
+		return parlot.ReadSetBinary(br, reg)
+	}
+	return trace.ReadSetText(br, reg)
+}

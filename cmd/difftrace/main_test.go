@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/faults"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+// writePair generates a normal/faulty trace-file pair for the CLI to chew.
+func writePair(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name string, plan *faults.Plan) string {
+		tr := parlot.NewTracer(parlot.MainImage)
+		if _, err := oddeven.Run(oddeven.Config{Procs: 16, Seed: 5, Plan: plan, Tracer: tr}); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteSetText(f, tr.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	plan, _ := faults.Named("swapBug")
+	return write("normal.trace", nil), write("faulty.trace", plan)
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+	got := splitList("a, b ,,c")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("split = %v", got)
+	}
+}
+
+func TestRunSingleComparison(t *testing.T) {
+	normal, faulty := writePair(t)
+	var buf bytes.Buffer
+	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.actual", "ward",
+		"", "5.0", "", 6, true, false, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"B-score (threads):",
+		"top thread suspects:  5.0",
+		"JSM_D heatmap",
+		"diffNLR(5.0)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunProcessLevelDiffNLR(t *testing.T) {
+	normal, faulty := writePair(t)
+	var buf bytes.Buffer
+	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.actual", "ward",
+		"", "5", "", 6, false, false, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "diffNLR(5.") {
+		t.Errorf("process diffNLR missing:\n%s", buf.String())
+	}
+}
+
+func TestRunSweepMode(t *testing.T) {
+	normal, faulty := writePair(t)
+	var buf bytes.Buffer
+	err := run(&buf, normal, faulty, "", "sing.noFreq", "ward",
+		"", "", "11.mpiall.0K10,11.mpisr.0K10", 6, false, false, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "B-score") || !strings.Contains(out, "11.mpisr.0K10") {
+		t.Errorf("sweep output:\n%s", out)
+	}
+	if strings.Count(out, "11.mpiall.0K10") != 6 { // one row per attr config
+		t.Errorf("sweep rows wrong:\n%s", out)
+	}
+}
+
+func TestRunLatticeMode(t *testing.T) {
+	normal, faulty := writePair(t)
+	var buf bytes.Buffer
+	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.noFreq", "ward",
+		"", "", "", 6, false, true, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "concept lattice") {
+		t.Errorf("lattice output missing:\n%s", buf.String())
+	}
+}
+
+func TestRunReportMode(t *testing.T) {
+	normal, faulty := writePair(t)
+	var buf bytes.Buffer
+	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.actual", "ward",
+		"", "", "", 3, false, false, false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DiffTrace report") || !strings.Contains(out, "diffNLR(5.0)") {
+		t.Errorf("report output:\n%s", out)
+	}
+}
+
+func TestRunTriageMode(t *testing.T) {
+	normal, faulty := writePair(t)
+	var buf bytes.Buffer
+	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.actual", "ward",
+		"", "", "", 3, false, false, false, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"companion analyses", "STAT stack classes", "AutomaDeD", "relative progress"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("triage output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	normal, faulty := writePair(t)
+	var buf bytes.Buffer
+	cases := []struct {
+		name                                         string
+		normalP, faultyP, flt, attrs, linkage, diffT string
+	}{
+		{"missing normal", "/nope", faulty, "11.0K10", "sing.noFreq", "ward", ""},
+		{"missing faulty", normal, "/nope", "11.0K10", "sing.noFreq", "ward", ""},
+		{"bad filter", normal, faulty, "zz", "sing.noFreq", "ward", ""},
+		{"bad attr", normal, faulty, "11.0K10", "zz", "ward", ""},
+		{"bad linkage", normal, faulty, "11.0K10", "sing.noFreq", "zz", ""},
+		{"bad target", normal, faulty, "11.0K10", "sing.noFreq", "ward", "99.9"},
+	}
+	for _, c := range cases {
+		err := run(&buf, c.normalP, c.faultyP, c.flt, c.attrs, c.linkage,
+			"", c.diffT, "", 6, false, false, false, false, false)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

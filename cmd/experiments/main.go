@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run tableVI
+//	experiments -run all [-quiet]
+//
+// Each experiment prints the reproduced artifact (table rows, lattice,
+// diffNLR, ...) followed by a PASS/FAIL shape check and the measured
+// metrics that EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"difftrace/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	runID := flag.String("run", "all", "experiment ID to run, or 'all'")
+	quiet := flag.Bool("quiet", false, "suppress artifact output, print outcomes only")
+	flag.Parse()
+
+	code := run(os.Stdout, os.Stderr, *list, *runID, *quiet)
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+// run drives the harness; returns the process exit code.
+func run(stdout, stderr io.Writer, list bool, runID string, quiet bool) int {
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-14s %-28s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return 0
+	}
+
+	var todo []experiments.Experiment
+	if runID == "all" {
+		todo = experiments.All()
+	} else {
+		e, ok := experiments.Get(runID)
+		if !ok {
+			fmt.Fprintf(stderr, "unknown experiment %q; try -list\n", runID)
+			return 2
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range todo {
+		fmt.Fprintf(stdout, "=== %s — %s ===\n", e.ID, e.PaperRef)
+		var w io.Writer = stdout
+		if quiet {
+			w = io.Discard
+		}
+		out, err := e.Run(w)
+		if err != nil {
+			fmt.Fprintf(stdout, "ERROR: %v\n\n", err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(stdout, "%s\n\n", out.Summary())
+		if !out.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "%d experiment(s) failed shape checks\n", failed)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, true, "all", false); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, want := range []string{"tableII", "fig5", "classify-bugs", "baselines"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, false, "bogus", true); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, false, "tableIV", false); code != 0 {
+		t.Fatalf("exit code %d (stderr %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS") || !strings.Contains(out.String(), "Table IV") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunQuietSuppressesArtifacts(t *testing.T) {
+	var loud, quiet, errb bytes.Buffer
+	if code := run(&loud, &errb, false, "tableII", false); code != 0 {
+		t.Fatal("loud run failed")
+	}
+	if code := run(&quiet, &errb, false, "tableII", true); code != 0 {
+		t.Fatal("quiet run failed")
+	}
+	if quiet.Len() >= loud.Len() {
+		t.Errorf("quiet output (%d bytes) not smaller than loud (%d)", quiet.Len(), loud.Len())
+	}
+}

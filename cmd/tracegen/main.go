@@ -1,0 +1,115 @@
+// Command tracegen runs one of the paper's applications under the ParLOT
+// tracing substrate and writes the per-thread traces to a text file that
+// cmd/difftrace consumes.
+//
+// Usage:
+//
+//	tracegen -app oddeven -procs 16 -o normal.trace
+//	tracegen -app oddeven -procs 16 -fault swapBug -o faulty.trace
+//	tracegen -app ilcs -fault ompBug -o ilcs-faulty.trace
+//	tracegen -app lulesh -fault skipLeapFrog -o lulesh-faulty.trace
+//	tracegen -app lulesh -format binary -o lulesh.plot   # compressed
+//
+// The normal and faulty traces of one comparison should be generated with
+// the same -seed so the executions differ only by the fault.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"difftrace/internal/apps/ilcs"
+	"difftrace/internal/apps/lulesh"
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/faults"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "oddeven", "application: oddeven | ilcs | lulesh")
+	fault := flag.String("fault", "none", "fault plan: none | swapBug | dlBug | ompBug | wrongSize | wrongOp | skipLeapFrog")
+	out := flag.String("o", "", "output trace file (default stdout)")
+	procs := flag.Int("procs", 0, "MPI processes (default: app-specific paper setting)")
+	workers := flag.Int("workers", 4, "ILCS worker threads / LULESH OMP threads per process")
+	seed := flag.Int64("seed", 5, "workload seed")
+	format := flag.String("format", "text", "output format: text | binary (compressed ParLOT file)")
+	flag.Parse()
+
+	if err := run(*app, *fault, *out, *format, *procs, *workers, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, fault, out, format string, procs, workers int, seed int64) error {
+	if format != "text" && format != "binary" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	plan, err := faults.Named(fault)
+	if err != nil {
+		return err
+	}
+	tracer := parlot.NewTracer(parlot.MainImage)
+
+	var deadlocked bool
+	switch app {
+	case "oddeven":
+		if procs == 0 {
+			procs = 16
+		}
+		res, err := oddeven.Run(oddeven.Config{Procs: procs, Seed: seed, Plan: plan, Tracer: tracer})
+		if err != nil {
+			return err
+		}
+		deadlocked = res.Deadlocked
+	case "ilcs":
+		if procs == 0 {
+			procs = 8
+		}
+		res, err := ilcs.Run(ilcs.Config{
+			Procs: procs, Workers: workers, Cities: 12, Seed: seed,
+			StableRounds: 2, MaxRounds: 10, Plan: plan, Tracer: tracer,
+		})
+		if err != nil {
+			return err
+		}
+		deadlocked = res.Deadlocked
+	case "lulesh":
+		if procs == 0 {
+			procs = 8
+		}
+		res, err := lulesh.Run(lulesh.Config{
+			Procs: procs, Threads: workers, EdgeElems: 6, Regions: 11,
+			Cycles: 2, Plan: plan, Tracer: tracer,
+		})
+		if err != nil {
+			return err
+		}
+		deadlocked = res.Deadlocked
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+
+	set := tracer.Collect()
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if format == "binary" {
+		if err := parlot.WriteSetBinary(w, set); err != nil {
+			return err
+		}
+	} else if err := trace.WriteSetText(w, set); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %s/%s -> %d traces, %d events (deadlocked=%v, compressed=%d bytes)\n",
+		app, fault, len(set.Traces), set.TotalEvents(), deadlocked, tracer.CompressedBytes())
+	return nil
+}

@@ -1,0 +1,124 @@
+// Instrumenting your own application.
+//
+// This example shows the adoption path for code that is not one of the
+// bundled miniapps: wrap your functions with ParLOT Enter/Exit hooks (the
+// source-level stand-in for Pin), run a working and a broken build of the
+// same program, and hand both trace sets to the pipeline.
+//
+// The "application" here is a tiny producer/consumer job: rank 0 produces
+// work items, the other ranks consume them in a polling loop. The broken
+// build drops every third acknowledgement in consumer rank 2 — no crash,
+// no hang, just a changed loop structure that diffNLR exposes.
+//
+//	go run ./examples/custom_app
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"difftrace/internal/attr"
+	"difftrace/internal/cluster"
+	"difftrace/internal/core"
+	"difftrace/internal/mpi"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+const (
+	ranks = 6
+	items = 12 // work items per consumer
+)
+
+// produceConsume is "the user's program". buggy enables the injected
+// regression (rank 2 drops every 3rd ack).
+func produceConsume(tracer *parlot.Tracer, buggy bool) error {
+	return mpi.Run(ranks, 64, tracer, func(r *mpi.Rank) error {
+		th := tracer.Thread(trace.TID(r.UntracedRank(), 0))
+		defer th.Fn("main")()
+		r.Init()
+		me := r.Rank()
+		r.Size()
+
+		if me == 0 { // producer
+			defer th.Fn("producer")()
+			for c := 1; c < ranks; c++ {
+				for i := 0; i < items; i++ {
+					th.Call("makeItem", func() {})
+					if err := r.Send(c, i, []float64{float64(i)}); err != nil {
+						return err
+					}
+				}
+			}
+			// Collect acks until every consumer said goodbye.
+			defer th.Fn("collectAcks")()
+			for c := 1; c < ranks; c++ {
+				for {
+					ack, err := r.Recv(c, 1000)
+					if err != nil {
+						return err
+					}
+					if ack[0] < 0 { // goodbye
+						break
+					}
+				}
+			}
+			return r.Finalize()
+		}
+
+		// consumer
+		defer th.Fn("consumer")()
+		for i := 0; i < items; i++ {
+			got, err := r.Recv(0, i)
+			if err != nil {
+				return err
+			}
+			th.Call("processItem", func() { _ = got[0] * 2 })
+			dropAck := buggy && me == 2 && i%3 == 2
+			if !dropAck {
+				th.Call("sendAck", func() {})
+				if err := r.Send(0, 1000, []float64{float64(i)}); err != nil {
+					return err
+				}
+			}
+		}
+		if err := r.Send(0, 1000, []float64{-1}); err != nil { // goodbye
+			return err
+		}
+		return r.Finalize()
+	})
+}
+
+func main() {
+	// One shared registry across both builds' traces, as always.
+	reg := trace.NewRegistry()
+	collect := func(buggy bool) *trace.TraceSet {
+		tracer := parlot.NewTracerWith(parlot.MainImage, reg)
+		if err := produceConsume(tracer, buggy); err != nil {
+			log.Fatal(err)
+		}
+		return tracer.Collect()
+	}
+	normal := collect(false)
+	faulty := collect(true)
+
+	// Analyze with an everything-filter (custom apps rarely need Table I's
+	// MPI-specific rows) and frequency-sensitive attributes.
+	flt := core.DefaultConfig().Filter
+	flt.Keep = nil // keep every function of this app
+	rep, err := core.DiffRun(normal, faulty, core.Config{
+		Filter:  flt,
+		Attr:    attr.Config{Kind: attr.Single, Freq: attr.Actual},
+		Linkage: cluster.Ward,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(rep.Summary())
+	fmt.Println()
+	if err := rep.WriteReport(os.Stdout, core.RenderOptions{TopK: 1}); err != nil {
+		log.Fatal(err)
+	}
+}

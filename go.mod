@@ -1,0 +1,3 @@
+module difftrace
+
+go 1.22

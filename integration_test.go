@@ -1,0 +1,188 @@
+// End-to-end integration tests: every application × fault combination runs
+// under the tracing substrate, round-trips through the on-disk trace
+// format, and flows through the full analysis pipeline — the workflow a
+// user drives via cmd/tracegen + cmd/difftrace.
+package difftrace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"difftrace/internal/apps/ilcs"
+	"difftrace/internal/apps/lulesh"
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/attr"
+	"difftrace/internal/core"
+	"difftrace/internal/faults"
+	"difftrace/internal/filter"
+	"difftrace/internal/parlot"
+	"difftrace/internal/progress"
+	"difftrace/internal/stat"
+	"difftrace/internal/trace"
+)
+
+// appRunner executes one app run under a tracer.
+type appRunner func(t *testing.T, plan *faults.Plan, tr *parlot.Tracer)
+
+func oddEvenRunner(procs int) appRunner {
+	return func(t *testing.T, plan *faults.Plan, tr *parlot.Tracer) {
+		t.Helper()
+		if _, err := oddeven.Run(oddeven.Config{Procs: procs, Seed: 5, Plan: plan, Tracer: tr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func ilcsRunner() appRunner {
+	return func(t *testing.T, plan *faults.Plan, tr *parlot.Tracer) {
+		t.Helper()
+		if _, err := ilcs.Run(ilcs.Config{
+			Procs: 4, Workers: 2, Cities: 10, Seed: 7,
+			StableRounds: 2, MaxRounds: 8, EvalsPerRound: 4,
+			Plan: plan, Tracer: tr,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func luleshRunner() appRunner {
+	return func(t *testing.T, plan *faults.Plan, tr *parlot.Tracer) {
+		t.Helper()
+		if _, err := lulesh.Run(lulesh.Config{
+			Procs: 4, Threads: 2, EdgeElems: 4, Regions: 5, Cycles: 2,
+			Plan: plan, Tracer: tr,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// roundTrip serializes a trace set to the text format and reads it back on
+// the shared registry, as the CLI workflow does.
+func roundTrip(t *testing.T, set *trace.TraceSet, reg *trace.Registry) *trace.TraceSet {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteSetText(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadSetText(&buf, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalEvents() != set.TotalEvents() {
+		t.Fatalf("round trip lost events: %d vs %d", got.TotalEvents(), set.TotalEvents())
+	}
+	return got
+}
+
+func TestEndToEndAllAppsAndFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration tests skipped in -short mode")
+	}
+	cases := []struct {
+		name      string
+		run       appRunner
+		fault     string
+		wantTrunc bool // deadlock-class faults truncate traces
+		// wantChange: the fault must move the JSM. The wrong-operation bug
+		// is exempt: it is *silent* and needs the §IV-D hard instance to
+		// surface (see the tableVIII experiment); at this toy scale two
+		// runs can legitimately coincide.
+		wantChange bool
+	}{
+		{"oddeven/swapBug", oddEvenRunner(16), "swapBug", false, true},
+		{"oddeven/dlBug", oddEvenRunner(16), "dlBug", true, true},
+		{"ilcs/ompBug", ilcsRunner(), "ompBug", false, true},
+		{"ilcs/wrongSize", ilcsRunner(), "wrongSize", true, true},
+		{"ilcs/wrongOp", ilcsRunner(), "wrongOp", false, false},
+		{"lulesh/skipLeapFrog", luleshRunner(), "skipLeapFrog", true, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			collectReg := trace.NewRegistry()
+			collect := func(plan *faults.Plan) *trace.TraceSet {
+				tr := parlot.NewTracerWith(parlot.MainImage, collectReg)
+				c.run(t, plan, tr)
+				return tr.Collect()
+			}
+			plan, err := faults.Named(c.fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Faults in the canned plans target paper ranks/threads; remap
+			// to the smaller integration configs where needed.
+			for i := range plan.Faults {
+				if c.name[:4] != "odde" {
+					if plan.Faults[i].Process >= 4 {
+						plan.Faults[i].Process %= 4
+					}
+					if plan.Faults[i].Thread > 2 {
+						plan.Faults[i].Thread = 1 + plan.Faults[i].Thread%2
+					}
+				}
+			}
+
+			// Collect both runs, round-trip through the disk format on a
+			// fresh registry (exactly what cmd/difftrace does).
+			fileReg := trace.NewRegistry()
+			normal := roundTrip(t, collect(nil), fileReg)
+			faulty := roundTrip(t, collect(plan), fileReg)
+
+			truncated := 0
+			for _, tr := range faulty.Traces {
+				if tr.Truncated {
+					truncated++
+				}
+			}
+			if c.wantTrunc && truncated == 0 {
+				t.Error("expected truncated traces")
+			}
+			if !c.wantTrunc && truncated != 0 {
+				t.Errorf("unexpected truncation (%d traces)", truncated)
+			}
+
+			// Full pipeline over the round-tripped sets.
+			flt, err := filter.ParseSpec("11.0K10")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Filter = flt
+			cfg.Attr = attr.Config{Kind: attr.Single, Freq: attr.Actual}
+			rep, err := core.DiffRun(normal, faulty, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Threads.Suspects) == 0 {
+				t.Fatal("no suspects computed")
+			}
+			if c.wantChange && rep.Threads.Suspects[0].Score <= 0 {
+				t.Error("fault produced no similarity change at all")
+			}
+			// diffNLR of the top suspect renders.
+			top := rep.Threads.Suspects[0].Name
+			d, err := rep.DiffNLR(rep.Threads, top)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out := d.Render(false); len(out) == 0 {
+				t.Error("empty diffNLR render")
+			}
+			// The companion analyses run on the same data.
+			if tree := stat.Build(faulty); len(tree.Classes()) == 0 {
+				t.Error("STAT produced no classes")
+			}
+			pa := progress.Analyze(normal, faulty, 10)
+			if len(pa.Tasks) == 0 {
+				t.Error("progress analysis empty")
+			}
+			for _, task := range pa.Tasks {
+				if task.Score < 0 || task.Score > 1 {
+					t.Errorf("progress %v out of range: %f", task.ID, task.Score)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,498 @@
+// Package lulesh is a proxy for LULESH 2.0 (Livermore Unstructured
+// Lagrangian Explicit Shock Hydrodynamics, the DOE miniapp of §V): it
+// reproduces LULESH2's *call skeleton* — the LagrangeLeapFrog hierarchy,
+// per-region material kernels, OpenMP element loops, and MPI halo
+// exchanges — over a real (if simplified) explicit time integration of
+// per-element state.
+//
+// §V uses LULESH only as a source of large, loopy, many-function traces, so
+// the proxy's fidelity target is trace-level: hundreds of distinct function
+// names (scaling with Regions), 10⁵–10⁶ calls per process (scaling with
+// EdgeElems and Cycles), nested loop structure for NLR, and a halo exchange
+// whose absence stalls neighbors. The §V fault — rank 2 never invoking
+// LagrangeLeapFrog, "in charge of updating domain distances and
+// send/receive MPI messages" — is injected as a SkipFunction fault and
+// trips the deadlock detector, so every process's trace is truncated, which
+// is why Table IX flags all of them.
+package lulesh
+
+import (
+	"fmt"
+	"math"
+
+	"difftrace/internal/faults"
+	"difftrace/internal/mpi"
+	"difftrace/internal/omp"
+	"difftrace/internal/otf"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Procs     int // MPI processes (the paper uses 8)
+	Threads   int // OpenMP threads per process (the paper uses 4)
+	EdgeElems int // elements per cube edge (domain = EdgeElems³ elements)
+	Regions   int // material regions (real LULESH defaults to 11)
+	ChunkSize int // elements per OpenMP work chunk
+	Cycles    int // time steps (§V runs a single cycle)
+	Plan      *faults.Plan
+	Tracer    *parlot.Tracer
+	Clock     *otf.Log // optional logical-clock recorder (otf.NewLog(Procs))
+}
+
+func (c *Config) defaults() {
+	if c.Procs == 0 {
+		c.Procs = 8
+	}
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.EdgeElems == 0 {
+		c.EdgeElems = 6
+	}
+	if c.Regions == 0 {
+		c.Regions = 11
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 16
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 1
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	FinalEnergy []float64 // per-process domain energy checksum
+	Deadlocked  bool
+	// Witness lists, for a deadlocked run, the operation each rank was
+	// blocked in when the detector fired.
+	Witness []string
+}
+
+// domain is one process's simulation state.
+type domain struct {
+	cfg    *Config
+	rank   int
+	elems  int
+	e      []float64 // element energy
+	p      []float64 // element pressure
+	q      []float64 // artificial viscosity
+	v      []float64 // relative volume
+	dt     float64
+	region *omp.Region
+	th     *parlot.ThreadTracer // master thread tracer (may be nil)
+}
+
+// Run executes the proxy. Injected deadlocks surface in Result.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	if cfg.Procs < 2 {
+		return nil, fmt.Errorf("lulesh: need at least 2 processes")
+	}
+	res := &Result{FinalEnergy: make([]float64, cfg.Procs)}
+	world := mpi.NewWorld(cfg.Procs, 1<<20)
+	if cfg.Clock != nil {
+		world.AttachClock(cfg.Clock)
+	}
+	err := world.Run(cfg.Tracer, func(r *mpi.Rank) error {
+		e, err := rankMain(r, &cfg)
+		res.FinalEnergy[r.UntracedRank()] = e
+		return err
+	})
+	if err == mpi.ErrDeadlock {
+		res.Deadlocked = true
+		res.Witness = world.DeadlockWitness()
+		return res, nil
+	}
+	return res, err
+}
+
+func rankMain(r *mpi.Rank, cfg *Config) (float64, error) {
+	rank := r.UntracedRank()
+	var th *parlot.ThreadTracer
+	if cfg.Tracer != nil {
+		th = cfg.Tracer.Thread(trace.TID(rank, 0))
+	}
+	d := &domain{
+		cfg:    cfg,
+		rank:   rank,
+		elems:  cfg.EdgeElems * cfg.EdgeElems * cfg.EdgeElems,
+		dt:     1e-7,
+		region: omp.NewRegion(rank, cfg.Tracer),
+		th:     th,
+	}
+	d.e = make([]float64, d.elems)
+	d.p = make([]float64, d.elems)
+	d.q = make([]float64, d.elems)
+	d.v = make([]float64, d.elems)
+	for i := range d.v {
+		d.v[i] = 1
+		d.e[i] = float64(rank+1) * 1e-3
+	}
+
+	if th != nil {
+		th.Enter("main")
+	}
+	r.Init()
+	r.Rank()
+	r.Size()
+	d.call("InitMeshDecomp", func() {})
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		if err := d.timeIncrement(r); err != nil {
+			return 0, err
+		}
+		if cfg.Plan.Active(faults.SkipFunction, rank, 0, cycle) &&
+			cfg.Plan.Find(faults.SkipFunction, rank, 0, cycle).Target == "LagrangeLeapFrog" {
+			continue // §V bug: rank never updates the domain or communicates
+		}
+		if err := d.lagrangeLeapFrog(r, cycle); err != nil {
+			return 0, err
+		}
+	}
+	if err := r.Finalize(); err != nil {
+		return 0, err
+	}
+	if th != nil {
+		th.Exit("main")
+	}
+	sum := 0.0
+	for _, v := range d.e {
+		sum += v
+	}
+	return sum, nil
+}
+
+// call traces fn on the master thread.
+func (d *domain) call(name string, fn func()) {
+	if d.th != nil {
+		d.th.Enter(name)
+		defer d.th.Exit(name)
+	}
+	fn()
+}
+
+// callErr is call with an error-returning body; a failed body (deadlock
+// abort) suppresses the exit event, leaving the trace truncated inside.
+func (d *domain) callErr(name string, fn func() error) error {
+	if d.th != nil {
+		d.th.Enter(name)
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if d.th != nil {
+		d.th.Exit(name)
+	}
+	return nil
+}
+
+// forElems runs a leaf kernel over every element chunk, distributed across
+// the OpenMP threads, tracing one leaf call per chunk on the owning thread.
+func (d *domain) forElems(leaf string, count int, body func(i int)) {
+	chunks := (count + d.cfg.ChunkSize - 1) / d.cfg.ChunkSize
+	d.region.Parallel(d.cfg.Threads, func(t *omp.Thread) {
+		th := t.Tracer()
+		for c := t.Num(); c < chunks; c += d.cfg.Threads {
+			if th != nil {
+				th.Enter(leaf)
+			}
+			lo := c * d.cfg.ChunkSize
+			hi := lo + d.cfg.ChunkSize
+			if hi > count {
+				hi = count
+			}
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+			if th != nil {
+				th.Exit(leaf)
+			}
+		}
+	})
+}
+
+// forElemsSub is forElems for kernels that, like real LULESH's stress and
+// hourglass integrations, call a fixed sequence of per-element helpers for
+// every chunk. The resulting mid-length repeated call pattern is exactly
+// what distinguishes NLR at K=50 from K=10 in the §V statistics: the helper
+// sequence exceeds a K=10 window but folds at K=50.
+func (d *domain) forElemsSub(leaf string, subs []string, count int, body func(i int)) {
+	chunks := (count + d.cfg.ChunkSize - 1) / d.cfg.ChunkSize
+	d.region.Parallel(d.cfg.Threads, func(t *omp.Thread) {
+		th := t.Tracer()
+		for c := t.Num(); c < chunks; c += d.cfg.Threads {
+			if th != nil {
+				th.Enter(leaf)
+			}
+			lo := c * d.cfg.ChunkSize
+			hi := lo + d.cfg.ChunkSize
+			if hi > count {
+				hi = count
+			}
+			for _, sub := range subs {
+				if th != nil {
+					th.Enter(sub)
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+				if th != nil {
+					th.Exit(sub)
+				}
+			}
+			if th != nil {
+				th.Exit(leaf)
+			}
+		}
+	})
+}
+
+// stressHelpers and hourglassHelpers mirror the per-element call stacks of
+// real LULESH's IntegrateStressForElems and CalcFBHourglassForceForElems.
+var stressHelpers = []string{
+	"CollectDomainNodesToElemNodes",
+	"CalcElemShapeFunctionDerivatives",
+	"CalcElemNodeNormals",
+	"SumElemFaceNormal_x", "SumElemFaceNormal_y", "SumElemFaceNormal_z",
+	"SumElemFaceNormal_xi", "SumElemFaceNormal_eta", "SumElemFaceNormal_zeta",
+	"SumElemStressesToNodeForces",
+}
+
+var hourglassHelpers = []string{
+	"CollectDomainNodesToElemNodes",
+	"CalcElemVolumeDerivative",
+	"VoluDer_x", "VoluDer_y", "VoluDer_z",
+	"CalcElemFBHourglassForce_g0", "CalcElemFBHourglassForce_g1",
+	"CalcElemFBHourglassForce_g2", "CalcElemFBHourglassForce_g3",
+	"CalcElemFBHourglassForce_g4", "CalcElemFBHourglassForce_g5",
+	"CalcElemFBHourglassForce_g6", "CalcElemFBHourglassForce_g7",
+}
+
+// timeIncrement is LULESH's TimeIncrement: the global dt Allreduce.
+func (d *domain) timeIncrement(r *mpi.Rank) error {
+	return d.callErr("TimeIncrement", func() error {
+		localDt := d.dt * (1 + 1e-4*float64(d.rank))
+		global, err := r.Allreduce([]float64{localDt}, mpi.MIN)
+		if err != nil {
+			return err
+		}
+		d.dt = global[0]
+		return nil
+	})
+}
+
+func (d *domain) neighbors() []int {
+	var out []int
+	if d.rank > 0 {
+		out = append(out, d.rank-1)
+	}
+	if d.rank < d.cfg.Procs-1 {
+		out = append(out, d.rank+1)
+	}
+	return out
+}
+
+// commRecvPost posts non-blocking receives for the neighbors' halos —
+// real LULESH's CommRecv posts MPI_Irecv before computing, overlapping
+// communication with the force computation.
+func (d *domain) commRecvPost(r *mpi.Rank, tag int) ([]*mpi.Request, error) {
+	var reqs []*mpi.Request
+	err := d.callErr("CommRecv", func() error {
+		for _, nb := range d.neighbors() {
+			req, err := r.Irecv(nb, tag)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		return nil
+	})
+	return reqs, err
+}
+
+// commSend posts non-blocking halo sends to both neighbors (LULESH's
+// CommSend uses MPI_Isend).
+func (d *domain) commSend(r *mpi.Rank, tag int) ([]*mpi.Request, error) {
+	var reqs []*mpi.Request
+	err := d.callErr("CommSend", func() error {
+		halo := []float64{d.e[0], d.p[0], d.q[0], d.v[0]}
+		for _, nb := range d.neighbors() {
+			req, err := r.Isend(nb, tag, halo)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		return nil
+	})
+	return reqs, err
+}
+
+// commWait completes the posted requests under the given traced name
+// (LULESH's CommSBN / CommSyncPosVel wait-and-unpack phases).
+func (d *domain) commWait(r *mpi.Rank, name string, recvs, sends []*mpi.Request) error {
+	return d.callErr(name, func() error {
+		for _, req := range recvs {
+			halo, err := r.Wait(req)
+			if err != nil {
+				return err
+			}
+			d.e[0] += 1e-9 * halo[0] // fold the halo into boundary state
+		}
+		for _, req := range sends {
+			if _, err := r.Wait(req); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// lagrangeLeapFrog is the §V function "in charge of updating domain
+// distances and send/receive MPI messages from other processes".
+func (d *domain) lagrangeLeapFrog(r *mpi.Rank, cycle int) error {
+	return d.callErr("LagrangeLeapFrog", func() error {
+		if err := d.lagrangeNodal(r, cycle); err != nil {
+			return err
+		}
+		if err := d.lagrangeElements(r, cycle); err != nil {
+			return err
+		}
+		d.calcTimeConstraints()
+		return nil
+	})
+}
+
+func (d *domain) lagrangeNodal(r *mpi.Rank, cycle int) error {
+	return d.callErr("LagrangeNodal", func() error {
+		if err := d.callErr("CalcForceForNodes", func() error {
+			// LULESH's overlap pattern: post receives, send halos, compute
+			// forces, then wait in CommSBN.
+			recvs, err := d.commRecvPost(r, cycle*2)
+			if err != nil {
+				return err
+			}
+			sends, err := d.commSend(r, cycle*2)
+			if err != nil {
+				return err
+			}
+			d.call("CalcVolumeForceForElems", func() {
+				d.forElems("InitStressTermsForElems", d.elems, func(i int) {
+					d.p[i] = d.e[i] * 0.3
+				})
+				d.forElemsSub("IntegrateStressForElems", stressHelpers, d.elems, func(i int) {
+					d.q[i] = d.p[i] * 0.1
+				})
+				d.call("CalcHourglassControlForElems", func() {
+					d.forElemsSub("CalcFBHourglassForceForElems", hourglassHelpers, d.elems, func(i int) {
+						d.e[i] += 1e-6 * d.q[i]
+					})
+				})
+			})
+			return d.commWait(r, "CommSBN", recvs, sends)
+		}); err != nil {
+			return err
+		}
+		d.forElems("CalcAccelerationForNodes", d.elems, func(i int) {
+			d.v[i] += d.dt * d.p[i]
+		})
+		d.call("ApplyAccelerationBoundaryConditionsForNodes", func() {})
+		d.forElems("CalcVelocityForNodes", d.elems, func(i int) {
+			d.v[i] *= 1 - 1e-9
+		})
+		d.forElems("CalcPositionForNodes", d.elems, func(i int) {
+			d.e[i] += d.dt * d.v[i] * 1e-3
+		})
+		// CommSyncPosVel: second halo exchange of the nodal phase.
+		recvs, err := d.commRecvPost(r, cycle*2+1)
+		if err != nil {
+			return err
+		}
+		sends, err := d.commSend(r, cycle*2+1)
+		if err != nil {
+			return err
+		}
+		return d.commWait(r, "CommSyncPosVel", recvs, sends)
+	})
+}
+
+func (d *domain) lagrangeElements(r *mpi.Rank, cycle int) error {
+	return d.callErr("LagrangeElements", func() error {
+		d.call("CalcLagrangeElements", func() {
+			d.forElems("CalcKinematicsForElems", d.elems, func(i int) {
+				d.v[i] = math.Max(1e-9, d.v[i]*(1+1e-8))
+			})
+		})
+		d.call("CalcQForElems", func() {
+			d.forElems("CalcMonotonicQGradientsForElems", d.elems, func(i int) {
+				d.q[i] = math.Abs(d.q[i]) * 0.99
+			})
+			for reg := 0; reg < d.cfg.Regions; reg++ {
+				lo, hi := d.regionSpan(reg)
+				d.forElems(fmt.Sprintf("CalcMonotonicQRegionForElems_r%d", reg), hi-lo, func(i int) {
+					d.q[lo+i] *= 0.999
+				})
+			}
+		})
+		d.call("ApplyMaterialPropertiesForElems", func() {
+			for reg := 0; reg < d.cfg.Regions; reg++ {
+				d.evalEOS(reg)
+			}
+		})
+		d.forElems("UpdateVolumesForElems", d.elems, func(i int) {
+			d.v[i] = math.Min(d.v[i], 10)
+		})
+		return nil
+	})
+}
+
+// regionSpan maps a region index to its contiguous element range.
+func (d *domain) regionSpan(reg int) (lo, hi int) {
+	per := d.elems / d.cfg.Regions
+	lo = reg * per
+	hi = lo + per
+	if reg == d.cfg.Regions-1 {
+		hi = d.elems
+	}
+	return lo, hi
+}
+
+// evalEOS is the region-specialized equation-of-state evaluation: LULESH
+// compiles one instance per material region, so each region contributes its
+// own family of function names to the trace.
+func (d *domain) evalEOS(reg int) {
+	lo, hi := d.regionSpan(reg)
+	n := hi - lo
+	d.call(fmt.Sprintf("EvalEOSForElems_r%d", reg), func() {
+		for pass := 0; pass < 3; pass++ { // LULESH's e_old/e_new/q_new passes
+			d.forElems(fmt.Sprintf("CalcEnergyForElems_r%d_p%d", reg, pass), n, func(i int) {
+				d.e[lo+i] += 1e-7 * (d.p[lo+i] + d.q[lo+i])
+			})
+		}
+		d.forElems(fmt.Sprintf("CalcPressureForElems_r%d", reg), n, func(i int) {
+			d.p[lo+i] = d.e[lo+i] * 0.3
+		})
+		d.forElems(fmt.Sprintf("CalcSoundSpeedForElems_r%d", reg), n, func(i int) {
+			d.q[lo+i] = math.Sqrt(math.Abs(d.p[lo+i]))
+		})
+	})
+}
+
+func (d *domain) calcTimeConstraints() {
+	d.call("CalcTimeConstraintsForElems", func() {
+		for reg := 0; reg < d.cfg.Regions; reg++ {
+			lo, hi := d.regionSpan(reg)
+			n := hi - lo
+			d.forElems(fmt.Sprintf("CalcCourantConstraintForElems_r%d", reg), n, func(i int) {
+				_ = d.q[lo+i]
+			})
+			d.forElems(fmt.Sprintf("CalcHydroConstraintForElems_r%d", reg), n, func(i int) {
+				_ = d.v[lo+i]
+			})
+		}
+		d.dt *= 1.0001 // allow the step to grow, as LULESH does
+	})
+}

@@ -1,0 +1,172 @@
+package lulesh
+
+import (
+	"strings"
+	"testing"
+
+	"difftrace/internal/faults"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func smallConfig() Config {
+	return Config{Procs: 4, Threads: 2, EdgeElems: 4, Regions: 5, ChunkSize: 8, Cycles: 2}
+}
+
+func TestFaultFreeRunCompletes(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("fault-free run deadlocked")
+	}
+	for p, e := range res.FinalEnergy {
+		if e <= 0 {
+			t.Errorf("process %d energy = %f", p, e)
+		}
+	}
+}
+
+func TestTooFewProcs(t *testing.T) {
+	if _, err := Run(Config{Procs: 1}); err == nil {
+		t.Error("1-process run accepted")
+	}
+}
+
+func TestCallSkeleton(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	cfg := smallConfig()
+	cfg.Tracer = tr
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	set := tr.Collect()
+	master := set.Traces[trace.TID(1, 0)].Names(set.Registry)
+	joined := strings.Join(master, " ")
+	for _, want := range []string{
+		"main", "MPI_Init", "InitMeshDecomp", "TimeIncrement", "MPI_Allreduce",
+		"LagrangeLeapFrog", "LagrangeNodal", "CalcForceForNodes", "CommSend",
+		"MPI_Isend", "CommRecv", "MPI_Irecv", "CommSBN", "MPI_Wait", "LagrangeElements",
+		"ApplyMaterialPropertiesForElems", "EvalEOSForElems_r0",
+		"CalcTimeConstraintsForElems", "MPI_Finalize",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("master trace missing %s", want)
+		}
+	}
+	// LagrangeLeapFrog appears once per cycle.
+	if n := strings.Count(joined, "LagrangeLeapFrog "); n != cfg.Cycles {
+		t.Errorf("LagrangeLeapFrog calls = %d, want %d", n, cfg.Cycles)
+	}
+}
+
+func TestWorkerThreadsRunElementKernels(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	cfg := smallConfig()
+	cfg.Tracer = tr
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	set := tr.Collect()
+	if len(set.Traces) != cfg.Procs*cfg.Threads {
+		t.Fatalf("traces = %d, want %d", len(set.Traces), cfg.Procs*cfg.Threads)
+	}
+	worker := set.Traces[trace.TID(0, 1)].Names(set.Registry)
+	kernels := 0
+	for _, n := range worker {
+		if strings.HasPrefix(n, "Calc") || strings.HasPrefix(n, "InitStress") ||
+			strings.HasPrefix(n, "IntegrateStress") || strings.HasPrefix(n, "UpdateVolumes") {
+			kernels++
+		}
+		if strings.HasPrefix(n, "MPI_") {
+			t.Errorf("worker made MPI call %s", n)
+		}
+	}
+	if kernels == 0 {
+		t.Errorf("worker ran no kernels: %v", worker[:min(10, len(worker))])
+	}
+}
+
+func TestDistinctFunctionsScaleWithRegions(t *testing.T) {
+	count := func(regions int) int {
+		tr := parlot.NewTracer(parlot.MainImage)
+		cfg := smallConfig()
+		cfg.Regions = regions
+		cfg.Tracer = tr
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Collect().DistinctFuncs()
+	}
+	few := count(3)
+	many := count(10)
+	if many <= few {
+		t.Errorf("distinct functions: %d regions -> %d, %d regions -> %d", 3, few, 10, many)
+	}
+	// Each region adds its kernel family (9 names: QRegion, EvalEOS,
+	// 3 energy passes, pressure, sound speed, courant, hydro).
+	if got, want := many-few, 7*9; got != want {
+		t.Errorf("region family delta = %d, want %d", got, want)
+	}
+}
+
+func TestSkipLagrangeLeapFrogDeadlocks(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	cfg := smallConfig()
+	cfg.Tracer = tr
+	cfg.Plan = faults.NewPlan(faults.Fault{
+		Kind: faults.SkipFunction, Process: 2, Thread: -1, Target: "LagrangeLeapFrog",
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("skipping LagrangeLeapFrog did not stall the job")
+	}
+	set := tr.Collect()
+	// Rank 2 never called LagrangeLeapFrog; its neighbors' traces are
+	// truncated waiting on it.
+	r2 := strings.Join(set.Traces[trace.TID(2, 0)].Names(set.Registry), " ")
+	if strings.Contains(r2, "LagrangeLeapFrog") {
+		t.Error("rank 2 called LagrangeLeapFrog despite the fault")
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		tc := set.Traces[trace.TID(p, 0)]
+		if !tc.Truncated {
+			t.Errorf("rank %d trace not truncated", p)
+		}
+		names := tc.Names(set.Registry)
+		for _, n := range names {
+			if n == "MPI_Finalize" {
+				t.Errorf("rank %d reached MPI_Finalize", p)
+			}
+		}
+	}
+}
+
+func TestTraceIsLoopyAcrossCycles(t *testing.T) {
+	// More cycles -> proportionally more calls (the NLR fodder of §V).
+	calls := func(cycles int) int {
+		tr := parlot.NewTracer(parlot.MainImage)
+		cfg := smallConfig()
+		cfg.Cycles = cycles
+		cfg.Tracer = tr
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Collect().TotalEvents()
+	}
+	c1, c3 := calls(1), calls(3)
+	if c3 < c1*2 {
+		t.Errorf("cycles=1: %d events, cycles=3: %d events", c1, c3)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+package oddeven
+
+import (
+	"sort"
+	"testing"
+
+	"difftrace/internal/faults"
+	"difftrace/internal/filter"
+	"difftrace/internal/nlr"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func TestFaultFreeSorts(t *testing.T) {
+	res, err := Run(Config{Procs: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("fault-free run deadlocked")
+	}
+	if !sort.Float64sAreSorted(res.Values) {
+		t.Errorf("values not sorted: %v", res.Values)
+	}
+}
+
+func TestTooFewRanks(t *testing.T) {
+	if _, err := Run(Config{Procs: 1}); err == nil {
+		t.Error("1-rank run accepted")
+	}
+}
+
+// mpiCalls filters a trace down to MPI functions, as Table II/III do.
+func mpiCalls(set *trace.TraceSet, p int) []string {
+	f := filter.New(filter.MPIAll)
+	return f.Apply(set.Traces[trace.TID(p, 0)], set.Registry).Names(set.Registry)
+}
+
+func TestTableIITraceShape(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	res, err := Run(Config{Procs: 4, Seed: 1, Tracer: tr})
+	if err != nil || res.Deadlocked {
+		t.Fatal(err, res)
+	}
+	set := tr.Collect()
+	if len(set.Traces) != 4 {
+		t.Fatalf("traces = %d", len(set.Traces))
+	}
+	// Table II: every trace starts Init/Comm_rank/Comm_size and ends
+	// Finalize; interior ranks exchange 4 times, edge ranks twice.
+	for p := 0; p < 4; p++ {
+		calls := mpiCalls(set, p)
+		if calls[0] != "MPI_Init" || calls[len(calls)-1] != "MPI_Finalize" {
+			t.Errorf("T%d = %v", p, calls)
+		}
+		sends := 0
+		for _, c := range calls {
+			if c == "MPI_Send" {
+				sends++
+			}
+		}
+		wantSends := 4
+		if p == 0 || p == 3 {
+			wantSends = 2
+		}
+		if sends != wantSends {
+			t.Errorf("T%d sends = %d, want %d", p, sends, wantSends)
+		}
+	}
+	// Even ranks send first; odd ranks receive first.
+	c0, c1 := mpiCalls(set, 0), mpiCalls(set, 1)
+	if c0[3] != "MPI_Send" {
+		t.Errorf("T0 first exchange = %v", c0[3])
+	}
+	if c1[3] != "MPI_Recv" {
+		t.Errorf("T1 first exchange = %v", c1[3])
+	}
+}
+
+func TestTableIIINLRShape(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	if _, err := Run(Config{Procs: 4, Seed: 1, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	set := filter.New(filter.MPIAll).ApplySet(tr.Collect())
+	tbl := nlr.NewTable()
+	sums := nlr.SummarizeSet(set, 10, tbl)
+	// Every trace must reduce to: Init, rank, size, one loop token,
+	// Finalize (Table III).
+	for p := 0; p < 4; p++ {
+		toks := nlr.Tokens(sums[trace.TID(p, 0)])
+		if len(toks) != 5 {
+			t.Errorf("T%d NLR = %v", p, toks)
+			continue
+		}
+		if toks[0] != "MPI_Init" || toks[4] != "MPI_Finalize" {
+			t.Errorf("T%d NLR = %v", p, toks)
+		}
+	}
+	// Edge ranks loop half as often as interior ones.
+	t0 := nlr.Tokens(sums[trace.TID(0, 0)])[3]
+	t2 := nlr.Tokens(sums[trace.TID(2, 0)])[3]
+	if t0 == t2 {
+		t.Errorf("edge and interior loops identical: %s vs %s", t0, t2)
+	}
+}
+
+func TestSwapBugCompletesWithChangedLoops(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	plan := faults.NewPlan(faults.Fault{
+		Kind: faults.SwapSendRecv, Process: 5, Thread: -1, AfterIteration: 7,
+	})
+	res, err := Run(Config{Procs: 16, Seed: 3, Plan: plan, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("swapBug must complete under the eager limit (a potential deadlock only)")
+	}
+	set := filter.New(filter.MPIAll).ApplySet(tr.Collect())
+	sums := nlr.SummarizeSet(set, 10, nlr.NewTable())
+	toks := nlr.Tokens(sums[trace.TID(5, 0)])
+	// Figure 5 shape: two loop tokens between the prologue and Finalize.
+	if len(toks) != 6 {
+		t.Fatalf("T'5 NLR = %v, want prologue + 2 loops + finalize", toks)
+	}
+	if toks[len(toks)-1] != "MPI_Finalize" {
+		t.Errorf("T'5 should reach MPI_Finalize: %v", toks)
+	}
+	// An unaffected rank still has a single 16-iteration loop.
+	toks8 := nlr.Tokens(sums[trace.TID(8, 0)])
+	if len(toks8) != 5 {
+		t.Errorf("T'8 NLR = %v", toks8)
+	}
+}
+
+func TestDlBugDeadlocksAndTruncates(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	plan := faults.NewPlan(faults.Fault{
+		Kind: faults.DeadlockStop, Process: 5, Thread: -1, AfterIteration: 7,
+	})
+	res, err := Run(Config{Procs: 16, Seed: 3, Plan: plan, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("dlBug did not deadlock")
+	}
+	set := tr.Collect()
+	t5 := set.Traces[trace.TID(5, 0)]
+	if !t5.Truncated {
+		t.Error("T'5 not truncated")
+	}
+	names := t5.Names(set.Registry)
+	if names[len(names)-1] != "MPI_Recv" {
+		t.Errorf("T'5 should end in the blocked MPI_Recv: ...%v", names[len(names)-5:])
+	}
+	// Figure 6: T'5 never reaches MPI_Finalize.
+	for _, n := range names {
+		if n == "MPI_Finalize" {
+			t.Error("T'5 reached MPI_Finalize despite deadlock")
+		}
+	}
+}
+
+func TestSwapBugKeepsResultSorted(t *testing.T) {
+	// The swap changes call order, not the data exchanged: output stays
+	// sorted (a "hidden" fault, per the paper's motivation).
+	plan := faults.NewPlan(faults.Fault{
+		Kind: faults.SwapSendRecv, Process: 5, Thread: -1, AfterIteration: 7,
+	})
+	res, err := Run(Config{Procs: 16, Seed: 9, Plan: plan})
+	if err != nil || res.Deadlocked {
+		t.Fatal(err, res)
+	}
+	if !sort.Float64sAreSorted(res.Values) {
+		t.Errorf("values not sorted: %v", res.Values)
+	}
+}
+
+func TestDlBugWitness(t *testing.T) {
+	plan := faults.NewPlan(faults.Fault{
+		Kind: faults.DeadlockStop, Process: 5, Thread: -1, AfterIteration: 7,
+	})
+	res, err := Run(Config{Procs: 16, Seed: 3, Plan: plan})
+	if err != nil || !res.Deadlocked {
+		t.Fatal(err, res)
+	}
+	if len(res.Witness) != 16 {
+		t.Fatalf("witness covers %d ranks: %v", len(res.Witness), res.Witness)
+	}
+	found := false
+	for _, w := range res.Witness {
+		if w == "rank 5 blocked in MPI_Recv(hang)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("witness missing the hung rank: %v", res.Witness)
+	}
+}

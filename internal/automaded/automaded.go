@@ -1,0 +1,170 @@
+// Package automaded implements an AutomaDeD-style baseline (Bronevetsky et
+// al., DSN 2010, and Laguna et al., SC 2011 — the paper's references
+// [28][29], discussed in §VI): each task's control flow is captured as a
+// semi-Markov model — states are the functions it executes, edges carry
+// the empirical transition probabilities — and outlier tasks are the ones
+// whose model is unusually far from everyone else's.
+//
+// This gives DiffTrace a second related-work comparison point beside STAT:
+// AutomaDeD sees transition *probabilities* (so it notices frequency
+// anomalies STAT misses) but, unlike DiffTrace, it does not summarize
+// loops, needs no second reference execution, and measures tasks against
+// the current run's population rather than against a known-good run.
+package automaded
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"difftrace/internal/trace"
+)
+
+// Model is one task's semi-Markov control-flow model: empirical transition
+// probabilities between consecutive function calls.
+type Model struct {
+	ID trace.ThreadID
+	// Prob maps "from\x00to" to the empirical transition probability.
+	Prob map[string]float64
+	// States is the set of functions observed.
+	States map[string]bool
+}
+
+// key builds a transition key.
+func key(from, to string) string { return from + "\x00" + to }
+
+// BuildModel fits the model from one trace's call sequence.
+func BuildModel(tr *trace.Trace, reg *trace.Registry) *Model {
+	calls := tr.Names(reg)
+	m := &Model{ID: tr.ID, Prob: make(map[string]float64), States: make(map[string]bool)}
+	counts := make(map[string]int)
+	outDegree := make(map[string]int)
+	for i := 0; i < len(calls); i++ {
+		m.States[calls[i]] = true
+		if i+1 < len(calls) {
+			counts[key(calls[i], calls[i+1])]++
+			outDegree[calls[i]]++
+		}
+	}
+	for k, c := range counts {
+		from := strings.SplitN(k, "\x00", 2)[0]
+		m.Prob[k] = float64(c) / float64(outDegree[from])
+	}
+	return m
+}
+
+// Distance measures model dissimilarity: the L1 difference of the two
+// transition distributions over the union of observed transitions,
+// normalized to [0, 1] (0 = identical models).
+func Distance(a, b *Model) float64 {
+	keys := map[string]bool{}
+	for k := range a.Prob {
+		keys[k] = true
+	}
+	for k := range b.Prob {
+		keys[k] = true
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	// Sorted accumulation order keeps the result exactly symmetric and
+	// deterministic (map order would perturb the floating-point sums).
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	sum, norm := 0.0, 0.0
+	for _, k := range sorted {
+		sum += math.Abs(a.Prob[k] - b.Prob[k])
+		norm += math.Max(a.Prob[k], b.Prob[k])
+	}
+	if norm == 0 {
+		return 0
+	}
+	// |a-b| <= max(a,b) entrywise, so sum/norm lies in [0,1]; it is 0 for
+	// identical models and 1 exactly when the transition supports are
+	// disjoint.
+	return sum / norm
+}
+
+// TaskScore is one task's outlier score: its mean model distance to every
+// other task in the same run.
+type TaskScore struct {
+	ID    trace.ThreadID
+	Score float64
+}
+
+// Analysis holds the per-task outlier ranking of one execution.
+type Analysis struct {
+	Models map[trace.ThreadID]*Model
+	Tasks  []TaskScore // descending by score (most dissimilar first)
+}
+
+// Analyze fits a model per trace and ranks tasks by mean pairwise model
+// distance — AutomaDeD's single-run outlier detection (no reference
+// execution needed, unlike DiffTrace's relative approach).
+func Analyze(set *trace.TraceSet) *Analysis {
+	a := &Analysis{Models: make(map[trace.ThreadID]*Model)}
+	ids := set.IDs()
+	for _, id := range ids {
+		a.Models[id] = BuildModel(set.Traces[id], set.Registry)
+	}
+	for _, id := range ids {
+		total := 0.0
+		for _, other := range ids {
+			if other == id {
+				continue
+			}
+			total += Distance(a.Models[id], a.Models[other])
+		}
+		score := 0.0
+		if len(ids) > 1 {
+			score = total / float64(len(ids)-1)
+		}
+		a.Tasks = append(a.Tasks, TaskScore{ID: id, Score: score})
+	}
+	sort.SliceStable(a.Tasks, func(i, j int) bool {
+		if a.Tasks[i].Score != a.Tasks[j].Score {
+			return a.Tasks[i].Score > a.Tasks[j].Score
+		}
+		return a.Tasks[i].ID.Less(a.Tasks[j].ID)
+	})
+	return a
+}
+
+// Outliers returns the tasks whose score exceeds the population mean by
+// more than k standard deviations (AutomaDeD's unusualness threshold).
+func (a *Analysis) Outliers(k float64) []trace.ThreadID {
+	if len(a.Tasks) == 0 {
+		return nil
+	}
+	mean, sd := 0.0, 0.0
+	for _, t := range a.Tasks {
+		mean += t.Score
+	}
+	mean /= float64(len(a.Tasks))
+	for _, t := range a.Tasks {
+		d := t.Score - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(a.Tasks)))
+	var out []trace.ThreadID
+	for _, t := range a.Tasks {
+		if t.Score > mean+k*sd {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// Render prints the ranking.
+func (a *Analysis) Render() string {
+	var b strings.Builder
+	b.WriteString("AutomaDeD-style outlier ranking (mean model distance)\n")
+	for _, t := range a.Tasks {
+		fmt.Fprintf(&b, "  %-6s %.4f\n", t.ID, t.Score)
+	}
+	return b.String()
+}

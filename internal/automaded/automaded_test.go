@@ -1,0 +1,152 @@
+package automaded
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/faults"
+	"difftrace/internal/filter"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func mkTrace(reg *trace.Registry, id trace.ThreadID, calls ...string) *trace.Trace {
+	tr := &trace.Trace{ID: id}
+	for _, c := range calls {
+		tr.Append(reg.ID(c), trace.Enter)
+	}
+	return tr
+}
+
+func TestBuildModelProbabilities(t *testing.T) {
+	reg := trace.NewRegistry()
+	// a->b twice, a->c once: P(a->b)=2/3, P(a->c)=1/3.
+	tr := mkTrace(reg, trace.TID(0, 0), "a", "b", "a", "b", "a", "c")
+	m := BuildModel(tr, reg)
+	if got := m.Prob[key("a", "b")]; got != 2.0/3 {
+		t.Errorf("P(a->b) = %f", got)
+	}
+	if got := m.Prob[key("a", "c")]; got != 1.0/3 {
+		t.Errorf("P(a->c) = %f", got)
+	}
+	if got := m.Prob[key("b", "a")]; got != 1 {
+		t.Errorf("P(b->a) = %f", got)
+	}
+	if len(m.States) != 3 {
+		t.Errorf("states = %v", m.States)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	reg := trace.NewRegistry()
+	a := BuildModel(mkTrace(reg, trace.TID(0, 0), "x", "y", "x", "y"), reg)
+	b := BuildModel(mkTrace(reg, trace.TID(1, 0), "x", "y", "x", "y"), reg)
+	c := BuildModel(mkTrace(reg, trace.TID(2, 0), "p", "q", "p", "q"), reg)
+	if Distance(a, b) != 0 {
+		t.Errorf("identical models distance = %f", Distance(a, b))
+	}
+	if d := Distance(a, c); d != 1 {
+		t.Errorf("disjoint models distance = %f", d)
+	}
+	empty := BuildModel(&trace.Trace{ID: trace.TID(3, 0)}, reg)
+	if Distance(empty, empty) != 0 {
+		t.Error("empty-empty distance nonzero")
+	}
+}
+
+func TestAnalyzeFlagsStructuralOutlier(t *testing.T) {
+	s := trace.NewTraceSet()
+	// Seven conforming tasks, one whose control flow loops differently.
+	for i := 0; i < 7; i++ {
+		s.Put(mkTrace(s.Registry, trace.TID(i, 0), "init", "work", "send", "work", "send", "fin"))
+	}
+	s.Put(mkTrace(s.Registry, trace.TID(7, 0), "init", "work", "work", "work", "retry", "fin"))
+	a := Analyze(s)
+	if a.Tasks[0].ID != trace.TID(7, 0) {
+		t.Errorf("top outlier = %v\n%s", a.Tasks[0].ID, a.Render())
+	}
+	out := a.Outliers(1)
+	if len(out) != 1 || out[0] != trace.TID(7, 0) {
+		t.Errorf("outliers = %v", out)
+	}
+	if !strings.Contains(a.Render(), "7.0") {
+		t.Error("render missing task")
+	}
+}
+
+func TestAnalyzeUniformPopulation(t *testing.T) {
+	s := trace.NewTraceSet()
+	for i := 0; i < 4; i++ {
+		s.Put(mkTrace(s.Registry, trace.TID(i, 0), "a", "b", "a", "b"))
+	}
+	a := Analyze(s)
+	for _, task := range a.Tasks {
+		if task.Score != 0 {
+			t.Errorf("uniform population scored %f", task.Score)
+		}
+	}
+	if len(a.Outliers(1)) != 0 {
+		t.Error("uniform population has outliers")
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	s := trace.NewTraceSet()
+	s.Put(mkTrace(s.Registry, trace.TID(0, 0), "a", "b"))
+	a := Analyze(s)
+	if len(a.Tasks) != 1 || a.Tasks[0].Score != 0 {
+		t.Errorf("single task analysis = %+v", a.Tasks)
+	}
+}
+
+// TestSwapBugSingleRun: AutomaDeD's single-run mode on the swapBug
+// execution — rank 5's swapped Recv/Send order changes its transition
+// probabilities, making it the control-flow outlier WITHOUT a reference
+// run. (The paper's §VI positioning: AutomaDeD detects outlier executions
+// from one run; DiffTrace diffs against a known-good one.)
+func TestSwapBugSingleRun(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	plan, _ := faults.Named("swapBug")
+	if _, err := oddeven.Run(oddeven.Config{Procs: 16, Seed: 5, Plan: plan, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	set := filter.New(filter.MPIAll).ApplySet(tr.Collect())
+	a := Analyze(set)
+	// Rank 5 must rank above the interior ranks (edge ranks 0/15 are
+	// legitimately different, so allow them ahead).
+	pos := -1
+	for i, task := range a.Tasks {
+		if task.ID == trace.TID(5, 0) {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 2 {
+		t.Errorf("rank 5 at position %d\n%s", pos, a.Render())
+	}
+}
+
+// Property: Distance is symmetric, in [0,1], zero on self.
+func TestQuickDistanceMetricProperties(t *testing.T) {
+	pool := []string{"a", "b", "c"}
+	f := func(ra, rb []uint8) bool {
+		reg := trace.NewRegistry()
+		mk := func(raw []uint8, p int) *Model {
+			calls := make([]string, len(raw))
+			for i, r := range raw {
+				calls[i] = pool[int(r)%len(pool)]
+			}
+			return BuildModel(mkTrace(reg, trace.TID(p, 0), calls...), reg)
+		}
+		a, b := mk(ra, 0), mk(rb, 1)
+		ab, ba := Distance(a, b), Distance(b, a)
+		if ab != ba || ab < 0 || ab > 1 {
+			return false
+		}
+		return Distance(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

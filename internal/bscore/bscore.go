@@ -1,0 +1,152 @@
+// Package bscore implements Fowlkes & Mallows' B_k method for comparing two
+// hierarchical clusterings ("A Method for Comparing Two Hierarchical
+// Clusterings", JASA 1983 — the paper's reference [17]).
+//
+// DiffTrace sorts its ranking tables by the B-score of the normal-run and
+// faulty-run dendrograms (§III-C): a low score means the fault reorganized
+// the similarity structure a lot, so the parameter combination that
+// produced it is ranked as more informative.
+package bscore
+
+import (
+	"fmt"
+	"math"
+
+	"difftrace/internal/cluster"
+)
+
+// FowlkesMallows computes B_k for two flat clusterings of the same n
+// observations. Both labelings must have the same length; the number of
+// clusters may differ (the general contingency form). Returns a value in
+// [0, 1]: 1 means identical partitions.
+func FowlkesMallows(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("bscore: labelings differ in length: %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return 0, fmt.Errorf("bscore: empty labelings")
+	}
+	// Contingency table m[i][j] = |A_i ∩ B_j|.
+	m := map[[2]int]float64{}
+	rows := map[int]float64{}
+	cols := map[int]float64{}
+	for i := 0; i < n; i++ {
+		m[[2]int{a[i], b[i]}]++
+		rows[a[i]]++
+		cols[b[i]]++
+	}
+	var tk, pk, qk float64
+	for _, v := range m {
+		tk += v * v
+	}
+	tk -= float64(n)
+	for _, v := range rows {
+		pk += v * v
+	}
+	pk -= float64(n)
+	for _, v := range cols {
+		qk += v * v
+	}
+	qk -= float64(n)
+	if pk == 0 || qk == 0 {
+		// One side is all singletons: B_k is undefined; by convention both
+		// all-singleton partitions agree perfectly, otherwise 0.
+		if pk == 0 && qk == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return tk / math.Sqrt(pk*qk), nil
+}
+
+// BScore compares two dendrograms over the same n observations by averaging
+// B_k over every non-degenerate cut level k = 2..n-1 (Fowlkes & Mallows'
+// plot, collapsed to its mean as DiffTrace's single sorting key). For n ≤ 3
+// the only informative level k=2 is used.
+func BScore(l1, l2 *cluster.Linkage) (float64, error) {
+	if l1.N != l2.N {
+		return 0, fmt.Errorf("bscore: dendrograms over %d vs %d observations", l1.N, l2.N)
+	}
+	n := l1.N
+	if n < 2 {
+		return 1, nil
+	}
+	lo, hi := 2, n-1
+	if hi < lo {
+		hi = lo // n == 2: compare at k=2 (all singletons on both sides)
+	}
+	sum, cnt := 0.0, 0
+	for k := lo; k <= hi; k++ {
+		c1, err := l1.CutK(k)
+		if err != nil {
+			return 0, err
+		}
+		c2, err := l2.CutK(k)
+		if err != nil {
+			return 0, err
+		}
+		bk, err := FowlkesMallows(c1, c2)
+		if err != nil {
+			return 0, err
+		}
+		sum += bk
+		cnt++
+	}
+	return sum / float64(cnt), nil
+}
+
+// Curve returns the full (k, B_k) series for plotting, k = 2..n-1.
+func Curve(l1, l2 *cluster.Linkage) ([]int, []float64, error) {
+	if l1.N != l2.N {
+		return nil, nil, fmt.Errorf("bscore: dendrograms over %d vs %d observations", l1.N, l2.N)
+	}
+	var ks []int
+	var bs []float64
+	for k := 2; k <= l1.N-1; k++ {
+		c1, err := l1.CutK(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		c2, err := l2.CutK(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		bk, err := FowlkesMallows(c1, c2)
+		if err != nil {
+			return nil, nil, err
+		}
+		ks = append(ks, k)
+		bs = append(bs, bk)
+	}
+	return ks, bs, nil
+}
+
+// RenderCurve draws the (k, B_k) series as an ASCII sparkline — the plot
+// Fowlkes & Mallows' paper presents, collapsed to one line per comparison:
+//
+//	B_k  k=2..7  [██▆▆▄▁]  mean 0.62
+func RenderCurve(l1, l2 *cluster.Linkage) (string, error) {
+	ks, bs, err := Curve(l1, l2)
+	if err != nil {
+		return "", err
+	}
+	if len(ks) == 0 {
+		return "B_k: (no informative cut levels)", nil
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	var sb, mean = make([]rune, len(bs)), 0.0
+	for i, b := range bs {
+		idx := int(b * float64(len(ramp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		sb[i] = ramp[idx]
+		mean += b
+	}
+	mean /= float64(len(bs))
+	return fmt.Sprintf("B_k  k=%d..%d  [%s]  mean %.3f", ks[0], ks[len(ks)-1], string(sb), mean), nil
+}

@@ -1,0 +1,209 @@
+package bscore
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"difftrace/internal/cluster"
+)
+
+func TestFowlkesMallowsIdentical(t *testing.T) {
+	got, err := FowlkesMallows([]int{0, 0, 1, 1}, []int{1, 1, 0, 0})
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical partitions (relabeled) = %f (%v), want 1", got, err)
+	}
+}
+
+func TestFowlkesMallowsOrthogonal(t *testing.T) {
+	// Partitions {01}{23} vs {02}{13}: each pair co-clustered in one but
+	// not the other -> Tk = 0.
+	got, err := FowlkesMallows([]int{0, 0, 1, 1}, []int{0, 1, 0, 1})
+	if err != nil || got != 0 {
+		t.Errorf("orthogonal = %f (%v), want 0", got, err)
+	}
+}
+
+func TestFowlkesMallowsHandComputed(t *testing.T) {
+	// a = {0,1}{2,3,4}, b = {0,1,2}{3,4}.
+	// m = [[2,0],[1,2]] -> Tk = 4+1+4-5 = 4
+	// Pk = 4+9-5 = 8; Qk = 9+4-5 = 8 -> B = 4/8 = 0.5
+	got, err := FowlkesMallows([]int{0, 0, 1, 1, 1}, []int{0, 0, 0, 1, 1})
+	if err != nil || math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("B = %f (%v), want 0.5", got, err)
+	}
+}
+
+func TestFowlkesMallowsSingletons(t *testing.T) {
+	// All-singletons vs all-singletons: defined as 1.
+	got, err := FowlkesMallows([]int{0, 1, 2}, []int{2, 1, 0})
+	if err != nil || got != 1 {
+		t.Errorf("singletons = %f (%v)", got, err)
+	}
+	// All-singletons vs one lump: 0 by convention.
+	got, err = FowlkesMallows([]int{0, 1, 2}, []int{0, 0, 0})
+	if err != nil || got != 0 {
+		t.Errorf("mixed degenerate = %f (%v)", got, err)
+	}
+}
+
+func TestFowlkesMallowsErrors(t *testing.T) {
+	if _, err := FowlkesMallows([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FowlkesMallows(nil, nil); err == nil {
+		t.Error("empty labelings accepted")
+	}
+}
+
+func distM(points []float64) [][]float64 {
+	n := len(points)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Abs(points[i] - points[j])
+		}
+	}
+	return d
+}
+
+func TestBScoreIdenticalDendrograms(t *testing.T) {
+	lk, err := cluster.Build(distM([]float64{0, 1, 5, 6, 20}), cluster.Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BScore(lk, lk)
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("self B-score = %f (%v)", got, err)
+	}
+}
+
+func TestBScoreDetectsReorganization(t *testing.T) {
+	// Normal: {0,1} close, {10,11} close, 30 outlier.
+	// Faulty: point 1 moved to 10.5 — cluster structure changes.
+	norm, _ := cluster.Build(distM([]float64{0, 1, 10, 11, 30}), cluster.Ward)
+	faul, _ := cluster.Build(distM([]float64{0, 10.5, 10, 11, 30}), cluster.Ward)
+	same, _ := BScore(norm, norm)
+	diff, err := BScore(norm, faul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff >= same {
+		t.Errorf("reorganized dendrogram should score below identical: %f vs %f", diff, same)
+	}
+}
+
+func TestBScoreSizeMismatch(t *testing.T) {
+	a, _ := cluster.Build(distM([]float64{0, 1}), cluster.Single)
+	b, _ := cluster.Build(distM([]float64{0, 1, 2}), cluster.Single)
+	if _, err := BScore(a, b); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, _, err := Curve(a, b); err == nil {
+		t.Error("Curve size mismatch accepted")
+	}
+}
+
+func TestBScoreTinyN(t *testing.T) {
+	one, _ := cluster.Build(distM([]float64{0}), cluster.Single)
+	if got, err := BScore(one, one); err != nil || got != 1 {
+		t.Errorf("n=1: %f %v", got, err)
+	}
+	two, _ := cluster.Build(distM([]float64{0, 5}), cluster.Single)
+	if got, err := BScore(two, two); err != nil || got != 1 {
+		t.Errorf("n=2: %f %v", got, err)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	lk, _ := cluster.Build(distM([]float64{0, 1, 5, 6, 20}), cluster.Average)
+	ks, bs, err := Curve(lk, lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 3 || ks[0] != 2 || ks[2] != 4 {
+		t.Errorf("ks = %v", ks)
+	}
+	for _, b := range bs {
+		if math.Abs(b-1) > 1e-12 {
+			t.Errorf("self curve = %v", bs)
+		}
+	}
+}
+
+// Property: B_k is symmetric, in [0,1], invariant to label permutation, and
+// 1 on identical partitions.
+func TestQuickFowlkesMallowsProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%10 + 2
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(3)
+			b[i] = rng.Intn(3)
+		}
+		ab, err1 := FowlkesMallows(a, b)
+		ba, err2 := FowlkesMallows(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.Abs(ab-ba) > 1e-12 || ab < -1e-12 || ab > 1+1e-12 {
+			return false
+		}
+		// Permute a's labels: score with b unchanged.
+		perm := map[int]int{0: 2, 1: 0, 2: 1}
+		ap := make([]int, n)
+		for i := range a {
+			ap[i] = perm[a[i]]
+		}
+		apb, err := FowlkesMallows(ap, b)
+		if err != nil || math.Abs(apb-ab) > 1e-12 {
+			return false
+		}
+		self, err := FowlkesMallows(a, a)
+		return err == nil && math.Abs(self-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBScoreCurveCutErrors(t *testing.T) {
+	// A dendrogram over zero observations exercises the degenerate path.
+	z, _ := cluster.Build(nil, cluster.Single)
+	if got, err := BScore(z, z); err != nil || got != 1 {
+		t.Errorf("empty BScore = %f, %v", got, err)
+	}
+	ks, bs, err := Curve(z, z)
+	if err != nil || len(ks) != 0 || len(bs) != 0 {
+		t.Errorf("empty Curve = %v %v %v", ks, bs, err)
+	}
+}
+
+func TestRenderCurve(t *testing.T) {
+	norm, _ := cluster.Build(distM([]float64{0, 1, 10, 11, 30, 31}), cluster.Ward)
+	faul, _ := cluster.Build(distM([]float64{0, 30.5, 10, 11, 30, 31}), cluster.Ward)
+	out, err := RenderCurve(norm, faul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "B_k  k=2..5") || !strings.Contains(out, "mean") {
+		t.Errorf("curve = %q", out)
+	}
+	self, err := RenderCurve(norm, norm)
+	if err != nil || !strings.Contains(self, "mean 1.000") {
+		t.Errorf("self curve = %q (%v)", self, err)
+	}
+	two, _ := cluster.Build(distM([]float64{0, 1}), cluster.Single)
+	empty, err := RenderCurve(two, two)
+	if err != nil || !strings.Contains(empty, "no informative") {
+		t.Errorf("degenerate curve = %q (%v)", empty, err)
+	}
+	if _, err := RenderCurve(norm, two); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

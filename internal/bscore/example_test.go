@@ -1,0 +1,17 @@
+package bscore_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/bscore"
+)
+
+// Two flat clusterings of five observations, compared by Fowlkes-Mallows.
+func ExampleFowlkesMallows() {
+	a := []int{0, 0, 1, 1, 1}
+	b := []int{0, 0, 0, 1, 1}
+	bk, _ := bscore.FowlkesMallows(a, b)
+	fmt.Printf("%.2f\n", bk)
+	// Output:
+	// 0.50
+}

@@ -1,0 +1,276 @@
+// Package classify implements the paper's future-work item 3: "conducting
+// systematic bug-injection to see whether concept lattices and loop
+// structures can be used as elevated features for precise bug
+// classifications via machine learning" (§VII).
+//
+// A feature vector is extracted from one DiffTrace comparison (the pipeline
+// report plus the raw trace sets): B-scores, JSM_D statistics, truncation
+// and progress measures — exactly the "elevated features" the lattice/NLR
+// stages produce. The classifier is a z-score-normalized nearest-centroid
+// model: deliberately simple, stdlib-only, and easily inspectable; the
+// experiment measures leave-one-out accuracy over systematically injected
+// bugs of the paper's classes.
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"difftrace/internal/core"
+	"difftrace/internal/progress"
+	"difftrace/internal/trace"
+)
+
+// FeatureNames labels the vector dimensions, in order.
+var FeatureNames = []string{
+	"bscore_threads",
+	"bscore_processes",
+	"frac_truncated",
+	"top_suspect_score",
+	"suspect_ratio",
+	"mean_jsmd",
+	"max_jsmd",
+	"event_ratio",
+	"progress_min",
+	"progress_mean",
+}
+
+// Dim is the feature-vector dimensionality.
+const Dim = 10
+
+// Vector is one extracted feature vector.
+type Vector [Dim]float64
+
+// String renders name=value pairs.
+func (v Vector) String() string {
+	parts := make([]string, Dim)
+	for i, n := range FeatureNames {
+		parts[i] = fmt.Sprintf("%s=%.3f", n, v[i])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Features extracts the vector from one comparison. rep must come from
+// core.DiffRun over the two sets; K is the NLR constant for the progress
+// measure.
+func Features(rep *core.Report, normal, faulty *trace.TraceSet, k int) Vector {
+	var v Vector
+	v[0] = rep.Threads.BScore
+	v[1] = rep.Processes.BScore
+
+	total, truncated := 0, 0
+	for _, tr := range faulty.Traces {
+		total++
+		if tr.Truncated {
+			truncated++
+		}
+	}
+	if total > 0 {
+		v[2] = float64(truncated) / float64(total)
+	}
+
+	sus := rep.Threads.Suspects
+	if len(sus) > 0 {
+		v[3] = sus[0].Score
+		flagged := 0
+		for _, s := range sus {
+			if s.Score > 1e-9 {
+				flagged++
+			}
+		}
+		v[4] = float64(flagged) / float64(len(sus))
+	}
+
+	jsmd := rep.Threads.JSMD
+	sum, max, cells := 0.0, 0.0, 0
+	for i := range jsmd.M {
+		for j := range jsmd.M[i] {
+			if i == j {
+				continue
+			}
+			sum += jsmd.M[i][j]
+			if jsmd.M[i][j] > max {
+				max = jsmd.M[i][j]
+			}
+			cells++
+		}
+	}
+	if cells > 0 {
+		v[5] = sum / float64(cells)
+	}
+	v[6] = max
+
+	ne, fe := normal.TotalEvents(), faulty.TotalEvents()
+	if ne > 0 {
+		v[7] = float64(fe) / float64(ne)
+	}
+
+	pa := progress.Analyze(normal, faulty, k)
+	if len(pa.Tasks) > 0 {
+		v[8] = pa.Tasks[0].Score // tasks sorted ascending: min progress
+		mean := 0.0
+		for _, t := range pa.Tasks {
+			mean += t.Score
+		}
+		v[9] = mean / float64(len(pa.Tasks))
+	}
+	return v
+}
+
+// Sample is one labeled observation.
+type Sample struct {
+	Label  string
+	Vector Vector
+}
+
+// Model is a nearest-centroid classifier over z-score-normalized features.
+type Model struct {
+	Mean, Std Vector
+	Centroids map[string]Vector
+}
+
+// Train fits centroids from the samples. At least two classes are required.
+func Train(samples []Sample) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("classify: no samples")
+	}
+	m := &Model{Centroids: make(map[string]Vector)}
+	// Global mean/std for normalization.
+	for _, s := range samples {
+		for i := range s.Vector {
+			m.Mean[i] += s.Vector[i]
+		}
+	}
+	for i := range m.Mean {
+		m.Mean[i] /= float64(len(samples))
+	}
+	for _, s := range samples {
+		for i := range s.Vector {
+			d := s.Vector[i] - m.Mean[i]
+			m.Std[i] += d * d
+		}
+	}
+	for i := range m.Std {
+		m.Std[i] = math.Sqrt(m.Std[i] / float64(len(samples)))
+		if m.Std[i] < 1e-12 {
+			m.Std[i] = 1 // constant feature: no effect after centering
+		}
+	}
+	// Per-class centroids in normalized space.
+	counts := map[string]int{}
+	sums := map[string]Vector{}
+	for _, s := range samples {
+		z := m.normalize(s.Vector)
+		acc := sums[s.Label]
+		for i := range z {
+			acc[i] += z[i]
+		}
+		sums[s.Label] = acc
+		counts[s.Label]++
+	}
+	if len(counts) < 2 {
+		return nil, fmt.Errorf("classify: need at least 2 classes, got %d", len(counts))
+	}
+	for label, acc := range sums {
+		for i := range acc {
+			acc[i] /= float64(counts[label])
+		}
+		m.Centroids[label] = acc
+	}
+	return m, nil
+}
+
+func (m *Model) normalize(v Vector) Vector {
+	var z Vector
+	for i := range v {
+		z[i] = (v[i] - m.Mean[i]) / m.Std[i]
+	}
+	return z
+}
+
+// Predict returns the nearest centroid's label and the distance margin
+// (runner-up distance minus winner distance; larger = more confident).
+func (m *Model) Predict(v Vector) (string, float64) {
+	z := m.normalize(v)
+	type cand struct {
+		label string
+		dist  float64
+	}
+	var cands []cand
+	for label, c := range m.Centroids {
+		d := 0.0
+		for i := range z {
+			diff := z[i] - c[i]
+			d += diff * diff
+		}
+		cands = append(cands, cand{label, math.Sqrt(d)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].label < cands[j].label
+	})
+	margin := math.Inf(1)
+	if len(cands) > 1 {
+		margin = cands[1].dist - cands[0].dist
+	}
+	return cands[0].label, margin
+}
+
+// LeaveOneOut computes leave-one-out accuracy over the samples and the
+// per-sample predictions.
+func LeaveOneOut(samples []Sample) (float64, []string, error) {
+	if len(samples) < 3 {
+		return 0, nil, fmt.Errorf("classify: too few samples for LOO")
+	}
+	preds := make([]string, len(samples))
+	correct := 0
+	for i := range samples {
+		train := make([]Sample, 0, len(samples)-1)
+		train = append(train, samples[:i]...)
+		train = append(train, samples[i+1:]...)
+		m, err := Train(train)
+		if err != nil {
+			return 0, nil, err
+		}
+		preds[i], _ = m.Predict(samples[i].Vector)
+		if preds[i] == samples[i].Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples)), preds, nil
+}
+
+// ConfusionMatrix renders label-vs-prediction counts.
+func ConfusionMatrix(samples []Sample, preds []string) string {
+	labels := map[string]bool{}
+	for _, s := range samples {
+		labels[s.Label] = true
+	}
+	sorted := make([]string, 0, len(labels))
+	for l := range labels {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+	counts := map[[2]string]int{}
+	for i, s := range samples {
+		counts[[2]string{s.Label, preds[i]}]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "true\\pred")
+	for _, p := range sorted {
+		fmt.Fprintf(&b, " %-10s", p)
+	}
+	b.WriteByte('\n')
+	for _, l := range sorted {
+		fmt.Fprintf(&b, "%-12s", l)
+		for _, p := range sorted {
+			fmt.Fprintf(&b, " %-10d", counts[[2]string{l, p}])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package classify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/attr"
+	"difftrace/internal/core"
+	"difftrace/internal/faults"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func synthetic(label string, base float64, rng *rand.Rand) Sample {
+	var v Vector
+	for i := range v {
+		v[i] = base + rng.Float64()*0.1
+	}
+	return Sample{Label: label, Vector: v}
+}
+
+func TestTrainPredictSeparableClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var samples []Sample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, synthetic("low", 0, rng), synthetic("high", 5, rng))
+	}
+	m, err := Train(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, margin := m.Predict(synthetic("", 0.05, rng).Vector)
+	if label != "low" || margin <= 0 {
+		t.Errorf("predict = %s margin %f", label, margin)
+	}
+	label, _ = m.Predict(synthetic("", 4.9, rng).Vector)
+	if label != "high" {
+		t.Errorf("predict = %s", label)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	one := []Sample{{Label: "a"}, {Label: "a"}}
+	if _, err := Train(one); err == nil {
+		t.Error("single class accepted")
+	}
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var samples []Sample
+	for i := 0; i < 6; i++ {
+		samples = append(samples, synthetic("a", 0, rng), synthetic("b", 3, rng))
+	}
+	acc, preds, err := LeaveOneOut(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Errorf("separable LOO accuracy = %f", acc)
+	}
+	cm := ConfusionMatrix(samples, preds)
+	if !strings.Contains(cm, "a") || !strings.Contains(cm, "6") {
+		t.Errorf("confusion matrix:\n%s", cm)
+	}
+	if _, _, err := LeaveOneOut(samples[:2]); err == nil {
+		t.Error("tiny LOO accepted")
+	}
+}
+
+func TestConstantFeatureDoesNotNaN(t *testing.T) {
+	samples := []Sample{
+		{Label: "a", Vector: Vector{1, 0}},
+		{Label: "b", Vector: Vector{2, 0}},
+		{Label: "a", Vector: Vector{1.1, 0}},
+		{Label: "b", Vector: Vector{2.1, 0}},
+	}
+	m, err := Train(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, margin := m.Predict(Vector{1.05, 0})
+	if label != "a" {
+		t.Errorf("predict = %s", label)
+	}
+	if margin != margin { // NaN check
+		t.Error("margin is NaN")
+	}
+}
+
+func TestFeaturesFromRealComparison(t *testing.T) {
+	reg := trace.NewRegistry()
+	run := func(p *faults.Plan) *trace.TraceSet {
+		tr := parlot.NewTracerWith(parlot.MainImage, reg)
+		if _, err := oddeven.Run(oddeven.Config{Procs: 8, Seed: 3, Plan: p, Tracer: tr}); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Collect()
+	}
+	normal := run(nil)
+	plan, _ := faults.Named("dlBug")
+	plan.Faults[0].Process = 3 // inject into a valid rank for 8 procs
+	faulty := run(plan)
+
+	cfg := core.DefaultConfig()
+	cfg.Attr = attr.Config{Kind: attr.Single, Freq: attr.Actual}
+	rep, err := core.DiffRun(normal, faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Features(rep, normal, faulty, 10)
+	if v[2] == 0 {
+		t.Error("deadlock run should have truncated traces")
+	}
+	if v[7] >= 1 {
+		t.Errorf("deadlocked run should have fewer events: ratio %f", v[7])
+	}
+	if v[8] >= 1 || v[8] < 0 {
+		t.Errorf("min progress = %f", v[8])
+	}
+	if !strings.Contains(v.String(), "frac_truncated=") {
+		t.Errorf("vector string: %s", v.String())
+	}
+	// Identical runs produce a near-zero-difference vector.
+	same, err := core.DiffRun(normal, normal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := Features(same, normal, normal, 10)
+	if v2[5] != 0 || v2[6] != 0 || v2[0] != 1 {
+		t.Errorf("self comparison features: %s", v2.String())
+	}
+}
+
+// Property: Predict always returns one of the trained labels, and
+// normalization keeps distances finite.
+func TestQuickPredictTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var samples []Sample
+		for i := 0; i < 4; i++ {
+			samples = append(samples,
+				synthetic("x", rng.Float64()*2, rng),
+				synthetic("y", 3+rng.Float64()*2, rng))
+		}
+		m, err := Train(samples)
+		if err != nil {
+			return false
+		}
+		label, margin := m.Predict(synthetic("", rng.Float64()*5, rng).Vector)
+		if label != "x" && label != "y" {
+			return false
+		}
+		return margin == margin && margin >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,434 @@
+// Package cluster implements agglomerative hierarchical clustering over a
+// precomputed dissimilarity matrix — this repository's stand-in for the
+// SciPy 1.3.0 linkage/fcluster machinery the paper uses (§III-C).
+//
+// All seven SciPy linkage methods are provided through the Lance–Williams
+// update formula: single, complete, average (UPGMA), weighted (WPGMA),
+// centroid, median, and ward (the method the paper's ranking tables use:
+// "Ward variance minimization"). The output is a SciPy-compatible linkage
+// matrix: row t = [clusterA, clusterB, distance, size] with new clusters
+// numbered n, n+1, ...
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Method is a linkage method.
+type Method int
+
+const (
+	// Single linkage: nearest neighbor.
+	Single Method = iota
+	// Complete linkage: farthest neighbor.
+	Complete
+	// Average linkage (UPGMA).
+	Average
+	// Weighted linkage (WPGMA).
+	Weighted
+	// Centroid linkage (UPGMC; Lance–Williams on squared distances).
+	Centroid
+	// Median linkage (WPGMC; Lance–Williams on squared distances).
+	Median
+	// Ward variance minimization (Lance–Williams on squared distances).
+	Ward
+)
+
+var methodNames = []string{"single", "complete", "average", "weighted", "centroid", "median", "ward"}
+
+// String returns the SciPy method name.
+func (m Method) String() string {
+	if int(m) < len(methodNames) {
+		return methodNames[m]
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// ParseMethod parses a SciPy method name.
+func ParseMethod(s string) (Method, error) {
+	for i, n := range methodNames {
+		if n == s {
+			return Method(i), nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown linkage method %q", s)
+}
+
+// AllMethods returns every linkage method (the §II-F knob-1 sweep).
+func AllMethods() []Method {
+	out := make([]Method, len(methodNames))
+	for i := range out {
+		out[i] = Method(i)
+	}
+	return out
+}
+
+// squaredSpace reports whether the Lance–Williams recurrence for m operates
+// on squared distances (SciPy's convention for the geometric methods).
+func (m Method) squaredSpace() bool {
+	return m == Centroid || m == Median || m == Ward
+}
+
+// coeffs returns the Lance–Williams coefficients (αi, αj, β, γ) for merging
+// clusters of sizes ni and nj, evaluated against a cluster of size nk.
+func (m Method) coeffs(ni, nj, nk float64) (ai, aj, beta, gamma float64) {
+	switch m {
+	case Single:
+		return 0.5, 0.5, 0, -0.5
+	case Complete:
+		return 0.5, 0.5, 0, 0.5
+	case Average:
+		return ni / (ni + nj), nj / (ni + nj), 0, 0
+	case Weighted:
+		return 0.5, 0.5, 0, 0
+	case Centroid:
+		s := ni + nj
+		return ni / s, nj / s, -ni * nj / (s * s), 0
+	case Median:
+		return 0.5, 0.5, -0.25, 0
+	case Ward:
+		s := ni + nj + nk
+		return (ni + nk) / s, (nj + nk) / s, -nk / s, 0
+	default:
+		panic("cluster: bad method")
+	}
+}
+
+// Linkage is the dendrogram: n-1 merge steps over n observations.
+type Linkage struct {
+	N     int
+	Steps []Step
+}
+
+// Step is one agglomeration: clusters A and B (original observations are
+// 0..n-1; merged clusters are n, n+1, ... in step order) merge at Distance
+// into a cluster of Size leaves.
+type Step struct {
+	A, B     int
+	Distance float64
+	Size     int
+}
+
+// Build clusters the n×n dissimilarity matrix d with the given method.
+// The matrix must be symmetric with a zero diagonal; it is not modified.
+func Build(d [][]float64, method Method) (*Linkage, error) {
+	n := len(d)
+	for i := range d {
+		if len(d[i]) != n {
+			return nil, fmt.Errorf("cluster: row %d has %d entries, want %d", i, len(d[i]), n)
+		}
+		if d[i][i] != 0 {
+			return nil, fmt.Errorf("cluster: nonzero diagonal at %d", i)
+		}
+		for j := range d[i] {
+			if math.Abs(d[i][j]-d[j][i]) > 1e-9 {
+				return nil, fmt.Errorf("cluster: asymmetric at (%d,%d)", i, j)
+			}
+			if d[i][j] < 0 {
+				return nil, fmt.Errorf("cluster: negative distance at (%d,%d)", i, j)
+			}
+		}
+	}
+	lk := &Linkage{N: n}
+	if n <= 1 {
+		return lk, nil
+	}
+
+	// Working copy; geometric methods run in squared space.
+	sq := method.squaredSpace()
+	cur := make([][]float64, n)
+	for i := range cur {
+		cur[i] = make([]float64, n)
+		for j := range d[i] {
+			v := d[i][j]
+			if sq {
+				v = v * v
+			}
+			cur[i][j] = v
+		}
+	}
+	active := make([]int, n)   // active[slot] = cluster id, -1 when merged away
+	size := make([]float64, n) // leaves per slot
+	for i := range active {
+		active[i] = i
+		size[i] = 1
+	}
+	nextID := n
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair (deterministic tie-break by ids).
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if active[i] < 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if active[j] < 0 {
+					continue
+				}
+				if cur[i][j] < best-1e-15 {
+					best = cur[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		ni, nj := size[bi], size[bj]
+		dist := best
+		if sq {
+			dist = math.Sqrt(math.Max(0, dist))
+		}
+		a, b := active[bi], active[bj]
+		if a > b {
+			a, b = b, a
+		}
+		lk.Steps = append(lk.Steps, Step{A: a, B: b, Distance: dist, Size: int(ni + nj)})
+
+		// Lance–Williams update: slot bi becomes the merged cluster.
+		for k := 0; k < n; k++ {
+			if active[k] < 0 || k == bi || k == bj {
+				continue
+			}
+			ai, aj, beta, gamma := method.coeffs(ni, nj, size[k])
+			nd := ai*cur[k][bi] + aj*cur[k][bj] + beta*cur[bi][bj] +
+				gamma*math.Abs(cur[k][bi]-cur[k][bj])
+			cur[k][bi], cur[bi][k] = nd, nd
+		}
+		active[bi] = nextID
+		nextID++
+		active[bj] = -1
+		size[bi] = ni + nj
+	}
+	return lk, nil
+}
+
+// CutK flattens the dendrogram into exactly k clusters (1 ≤ k ≤ n) by
+// undoing the last k-1 merges. Labels are 0-based, renumbered by first
+// appearance, matching observation order.
+func (l *Linkage) CutK(k int) ([]int, error) {
+	if k < 1 || k > l.N {
+		return nil, fmt.Errorf("cluster: k=%d out of range [1,%d]", k, l.N)
+	}
+	return l.cut(l.N - k), nil
+}
+
+// CutDistance flattens by applying every merge with distance ≤ t.
+func (l *Linkage) CutDistance(t float64) []int {
+	applied := 0
+	for _, s := range l.Steps {
+		if s.Distance <= t {
+			applied++
+		} else {
+			break
+		}
+	}
+	return l.cut(applied)
+}
+
+// cut applies the first `merges` steps and returns canonical labels.
+func (l *Linkage) cut(merges int) []int {
+	parent := make([]int, l.N+merges)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for s := 0; s < merges; s++ {
+		st := l.Steps[s]
+		merged := l.N + s
+		parent[find(st.A)] = merged
+		parent[find(st.B)] = merged
+	}
+	labels := make([]int, l.N)
+	canon := map[int]int{}
+	for i := 0; i < l.N; i++ {
+		r := find(i)
+		if _, ok := canon[r]; !ok {
+			canon[r] = len(canon)
+		}
+		labels[i] = canon[r]
+	}
+	return labels
+}
+
+// Cophenetic returns the cophenetic distance matrix: entry (i,j) is the
+// merge distance at which leaves i and j first share a cluster.
+func (l *Linkage) Cophenetic() [][]float64 {
+	members := make(map[int][]int, 2*l.N)
+	for i := 0; i < l.N; i++ {
+		members[i] = []int{i}
+	}
+	out := make([][]float64, l.N)
+	for i := range out {
+		out[i] = make([]float64, l.N)
+	}
+	for s, st := range l.Steps {
+		ma, mb := members[st.A], members[st.B]
+		for _, x := range ma {
+			for _, y := range mb {
+				out[x][y], out[y][x] = st.Distance, st.Distance
+			}
+		}
+		members[l.N+s] = append(append([]int{}, ma...), mb...)
+		delete(members, st.A)
+		delete(members, st.B)
+	}
+	return out
+}
+
+// Render prints the merge sequence (a textual dendrogram), with optional
+// leaf names.
+func (l *Linkage) Render(names []string) string {
+	label := func(id int) string {
+		if id < l.N {
+			if names != nil && id < len(names) {
+				return names[id]
+			}
+			return fmt.Sprintf("obs%d", id)
+		}
+		return fmt.Sprintf("c%d", id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "linkage over %d observations\n", l.N)
+	for s, st := range l.Steps {
+		fmt.Fprintf(&b, "  c%d = merge(%s, %s) at %.4f (size %d)\n",
+			l.N+s, label(st.A), label(st.B), st.Distance, st.Size)
+	}
+	return b.String()
+}
+
+// RenderTree draws the dendrogram as an ASCII tree, children indented under
+// their merge node:
+//
+//	└─ 4.236
+//	   ├─ 1.000
+//	   │  ├─ T0
+//	   │  └─ T1
+//	   └─ T2
+func (l *Linkage) RenderTree(names []string) string {
+	if l.N == 0 {
+		return "(empty dendrogram)\n"
+	}
+	label := func(id int) string {
+		if id < l.N {
+			if names != nil && id < len(names) {
+				return names[id]
+			}
+			return fmt.Sprintf("obs%d", id)
+		}
+		return ""
+	}
+	var b strings.Builder
+	var walk func(id int, prefix string, last bool)
+	walk = func(id int, prefix string, last bool) {
+		branch, childPrefix := "├─ ", "│  "
+		if last {
+			branch, childPrefix = "└─ ", "   "
+		}
+		if id < l.N {
+			fmt.Fprintf(&b, "%s%s%s\n", prefix, branch, label(id))
+			return
+		}
+		st := l.Steps[id-l.N]
+		fmt.Fprintf(&b, "%s%s%.3f\n", prefix, branch, st.Distance)
+		walk(st.A, prefix+childPrefix, false)
+		walk(st.B, prefix+childPrefix, true)
+	}
+	root := l.N
+	if len(l.Steps) > 0 {
+		root = l.N + len(l.Steps) - 1
+	} else {
+		// Single observation: just the leaf.
+		fmt.Fprintf(&b, "└─ %s\n", label(0))
+		return b.String()
+	}
+	walk(root, "", true)
+	return b.String()
+}
+
+// Monotone reports whether merge distances are non-decreasing (guaranteed
+// for single/complete/average/weighted/ward; centroid and median can
+// invert — a property the tests pin down).
+func (l *Linkage) Monotone() bool {
+	for i := 1; i < len(l.Steps); i++ {
+		if l.Steps[i].Distance < l.Steps[i-1].Distance-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Labels pairs a cut with observation names, returning name→cluster.
+func Labels(names []string, labels []int) map[string]int {
+	out := make(map[string]int, len(names))
+	for i, n := range names {
+		if i < len(labels) {
+			out[n] = labels[i]
+		}
+	}
+	return out
+}
+
+// SortedClusterSizes is a test/diagnostic helper: the multiset of cluster
+// sizes in a labeling, sorted descending.
+func SortedClusterSizes(labels []int) []int {
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// CopheneticCorrelation computes the cophenetic correlation coefficient
+// (CPCC): the Pearson correlation between the original pairwise distances
+// and the dendrogram's cophenetic distances. Values near 1 mean the
+// dendrogram faithfully preserves the dissimilarity structure — a standard
+// diagnostic for choosing among the §II-F linkage methods.
+func (l *Linkage) CopheneticCorrelation(d [][]float64) (float64, error) {
+	if len(d) != l.N {
+		return 0, fmt.Errorf("cluster: distance matrix is %d×, dendrogram has %d observations", len(d), l.N)
+	}
+	if l.N < 3 {
+		return 0, fmt.Errorf("cluster: CPCC needs at least 3 observations")
+	}
+	c := l.Cophenetic()
+	var xs, ys []float64
+	for i := 0; i < l.N; i++ {
+		for j := i + 1; j < l.N; j++ {
+			xs = append(xs, d[i][j])
+			ys = append(ys, c[i][j])
+		}
+	}
+	mean := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	mx, my := mean(xs), mean(ys)
+	var num, dx, dy float64
+	for k := range xs {
+		a, b := xs[k]-mx, ys[k]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0, fmt.Errorf("cluster: degenerate distances (zero variance)")
+	}
+	return num / math.Sqrt(dx*dy), nil
+}

@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// dist builds a distance matrix from 1-D points (Euclidean).
+func dist(points []float64) [][]float64 {
+	n := len(points)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Abs(points[i] - points[j])
+		}
+	}
+	return d
+}
+
+func TestParseMethodRoundTrip(t *testing.T) {
+	for _, m := range AllMethods() {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %v: %v %v", m, got, err)
+		}
+	}
+	if _, err := ParseMethod("bogus"); err == nil {
+		t.Error("bogus method accepted")
+	}
+	if len(AllMethods()) != 7 {
+		t.Errorf("methods = %d, want 7", len(AllMethods()))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build([][]float64{{0, 1}}, Single); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := Build([][]float64{{1}}, Single); err == nil {
+		t.Error("nonzero diagonal accepted")
+	}
+	if _, err := Build([][]float64{{0, 1}, {2, 0}}, Single); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if _, err := Build([][]float64{{0, -1}, {-1, 0}}, Single); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestTrivialSizes(t *testing.T) {
+	lk, err := Build(nil, Ward)
+	if err != nil || len(lk.Steps) != 0 {
+		t.Errorf("empty: %v %v", lk, err)
+	}
+	lk, err = Build([][]float64{{0}}, Ward)
+	if err != nil || len(lk.Steps) != 0 {
+		t.Errorf("singleton: %v %v", lk, err)
+	}
+	labels, err := lk.CutK(1)
+	if err != nil || !reflect.DeepEqual(labels, []int{0}) {
+		t.Errorf("singleton cut: %v %v", labels, err)
+	}
+}
+
+func TestSingleLinkageChaining(t *testing.T) {
+	// Points 0,1,2 close together; 10 far. Single linkage merges the chain
+	// first.
+	lk, err := Build(dist([]float64{0, 1, 2, 10}), Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lk.Steps) != 3 {
+		t.Fatalf("steps = %d", len(lk.Steps))
+	}
+	// First two merges at distance 1, last at 8 (single: min gap to 10).
+	if lk.Steps[0].Distance != 1 || lk.Steps[1].Distance != 1 {
+		t.Errorf("early merges = %+v", lk.Steps)
+	}
+	if lk.Steps[2].Distance != 8 {
+		t.Errorf("final merge = %+v", lk.Steps[2])
+	}
+	labels, _ := lk.CutK(2)
+	if !reflect.DeepEqual(labels, []int{0, 0, 0, 1}) {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestCompleteVsSingle(t *testing.T) {
+	// Complete linkage's final merge distance is the full diameter.
+	d := dist([]float64{0, 1, 2, 10})
+	s, _ := Build(d, Single)
+	c, _ := Build(d, Complete)
+	if got := c.Steps[len(c.Steps)-1].Distance; got != 10 {
+		t.Errorf("complete final = %f, want 10", got)
+	}
+	if s.Steps[len(s.Steps)-1].Distance >= c.Steps[len(c.Steps)-1].Distance {
+		t.Error("single final merge should be below complete's")
+	}
+}
+
+func TestAverageLinkageHandComputed(t *testing.T) {
+	// Three points: 0, 2, 5. Merge(0,2) at 2; then average distance from
+	// {0,2} to {5} = (5+3)/2 = 4.
+	lk, err := Build(dist([]float64{0, 2, 5}), Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lk.Steps[0].Distance != 2 || math.Abs(lk.Steps[1].Distance-4) > 1e-12 {
+		t.Errorf("steps = %+v", lk.Steps)
+	}
+}
+
+func TestWardHandComputed(t *testing.T) {
+	// Two tight pairs: {0, 1} and {10, 11}. Ward merges within pairs first,
+	// then between: d² = (2·2/(2+2))·... For singleton merges ward distance
+	// equals the point distance.
+	lk, err := Build(dist([]float64{0, 1, 10, 11}), Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lk.Steps[0].Distance != 1 || lk.Steps[1].Distance != 1 {
+		t.Errorf("within-pair merges = %+v", lk.Steps)
+	}
+	// Ward distance between {0,1} and {10,11}: sqrt of the LW combination;
+	// for 1-D clusters with centroids 0.5 and 10.5:
+	// d² = ((ni*nj)/(ni+nj))*2*||c1-c2||² -> SciPy reports
+	// sqrt(2*ni*nj/(ni+nj)*Δ²) = sqrt(2*2*2/4*100) = sqrt(200) ≈ 14.1421
+	want := math.Sqrt(2 * 2 * 2 / 4.0 * 100)
+	if math.Abs(lk.Steps[2].Distance-want) > 0.05 {
+		t.Errorf("between-pair ward distance = %f, want ≈ %f", lk.Steps[2].Distance, want)
+	}
+	if !lk.Monotone() {
+		t.Error("ward linkage must be monotone")
+	}
+}
+
+func TestCentroidHandComputed(t *testing.T) {
+	// Centroid distance between merged {0,2} (centroid 1) and {6}: 5.
+	lk, err := Build(dist([]float64{0, 2, 6}), Centroid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lk.Steps[1].Distance-5) > 1e-9 {
+		t.Errorf("centroid distance = %f, want 5", lk.Steps[1].Distance)
+	}
+}
+
+func TestMedianHandComputed(t *testing.T) {
+	// Median (WPGMC): same as centroid for singleton merges.
+	lk, err := Build(dist([]float64{0, 2, 6}), Median)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lk.Steps[1].Distance-5) > 1e-9 {
+		t.Errorf("median distance = %f, want 5", lk.Steps[1].Distance)
+	}
+}
+
+func TestWeightedHandComputed(t *testing.T) {
+	// WPGMA: distance from {0,2} to 5 = (5+3)/2 = 4 (same as UPGMA for
+	// singleton merge).
+	lk, err := Build(dist([]float64{0, 2, 5}), Weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lk.Steps[1].Distance-4) > 1e-12 {
+		t.Errorf("steps = %+v", lk.Steps)
+	}
+}
+
+func TestCutKAndDistance(t *testing.T) {
+	lk, _ := Build(dist([]float64{0, 1, 5, 6, 20}), Average)
+	labels, err := lk.CutK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(labels, []int{0, 0, 1, 1, 2}) {
+		t.Errorf("CutK(3) = %v", labels)
+	}
+	if _, err := lk.CutK(0); err == nil {
+		t.Error("CutK(0) accepted")
+	}
+	if _, err := lk.CutK(6); err == nil {
+		t.Error("CutK(n+1) accepted")
+	}
+	all, _ := lk.CutK(1)
+	if SortedClusterSizes(all)[0] != 5 {
+		t.Errorf("CutK(1) = %v", all)
+	}
+	none, _ := lk.CutK(5)
+	if !reflect.DeepEqual(none, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("CutK(n) = %v", none)
+	}
+	byDist := lk.CutDistance(1.5)
+	if !reflect.DeepEqual(byDist, []int{0, 0, 1, 1, 2}) {
+		t.Errorf("CutDistance = %v", byDist)
+	}
+}
+
+func TestCophenetic(t *testing.T) {
+	lk, _ := Build(dist([]float64{0, 1, 10}), Single)
+	c := lk.Cophenetic()
+	if c[0][1] != 1 {
+		t.Errorf("coph(0,1) = %f", c[0][1])
+	}
+	if c[0][2] != 9 || c[1][2] != 9 {
+		t.Errorf("coph to far point = %f/%f", c[0][2], c[1][2])
+	}
+	for i := range c {
+		if c[i][i] != 0 {
+			t.Error("cophenetic diagonal nonzero")
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	lk, _ := Build(dist([]float64{0, 1, 10}), Single)
+	out := lk.Render([]string{"T0", "T1", "T2"})
+	if !contains(out, "merge(T0, T1)") {
+		t.Errorf("render:\n%s", out)
+	}
+	out = lk.Render(nil)
+	if !contains(out, "obs0") {
+		t.Errorf("render without names:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool { return indexOf(s, sub) >= 0 })()
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestLabelsHelper(t *testing.T) {
+	m := Labels([]string{"a", "b"}, []int{1, 0})
+	if m["a"] != 1 || m["b"] != 0 {
+		t.Errorf("Labels = %v", m)
+	}
+}
+
+// Property: every method produces exactly n-1 steps, sizes sum correctly,
+// final size is n, and cuts partition all observations.
+func TestQuickLinkageInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%8 + 2
+		method := Method(int(mRaw) % 7)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = rng.Float64() * 100
+		}
+		lk, err := Build(dist(pts), method)
+		if err != nil {
+			return false
+		}
+		if len(lk.Steps) != n-1 {
+			return false
+		}
+		if lk.Steps[n-2].Size != n {
+			return false
+		}
+		for k := 1; k <= n; k++ {
+			labels, err := lk.CutK(k)
+			if err != nil || len(labels) != n {
+				return false
+			}
+			distinct := map[int]bool{}
+			for _, l := range labels {
+				distinct[l] = true
+			}
+			if len(distinct) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: single/complete/average/weighted/ward are monotone.
+func TestQuickMonotoneMethods(t *testing.T) {
+	methods := []Method{Single, Complete, Average, Weighted, Ward}
+	f := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = rng.Float64() * 10
+		}
+		lk, err := Build(dist(pts), methods[int(mRaw)%len(methods)])
+		return err == nil && lk.Monotone()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cophenetic distances for single linkage never exceed the
+// original distances (ultrametric below the metric).
+func TestQuickSingleCopheneticBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = rng.Float64() * 10
+		}
+		d := dist(pts)
+		lk, err := Build(d, Single)
+		if err != nil {
+			return false
+		}
+		c := lk.Cophenetic()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if c[i][j] > d[i][j]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	lk, _ := Build(dist([]float64{0, 1, 10}), Single)
+	out := lk.RenderTree([]string{"T0", "T1", "T2"})
+	for _, want := range []string{"└─ 9.000", "├─ T2", "└─ 1.000", "├─ T0", "└─ T1"} {
+		if !contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate shapes.
+	one, _ := Build([][]float64{{0}}, Single)
+	if !contains(one.RenderTree([]string{"solo"}), "solo") {
+		t.Error("single-leaf tree wrong")
+	}
+	zero, _ := Build(nil, Single)
+	if !contains(zero.RenderTree(nil), "empty") {
+		t.Error("empty tree wrong")
+	}
+}
+
+func TestCopheneticCorrelation(t *testing.T) {
+	// Well-separated clusters: every linkage should represent the
+	// distances faithfully (CPCC close to 1).
+	d := dist([]float64{0, 1, 2, 50, 51, 52})
+	for _, m := range []Method{Single, Complete, Average, Ward} {
+		lk, err := Build(d, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpcc, err := lk.CopheneticCorrelation(d)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if cpcc < 0.9 {
+			t.Errorf("%v CPCC = %f, want > 0.9", m, cpcc)
+		}
+	}
+}
+
+func TestCopheneticCorrelationErrors(t *testing.T) {
+	d := dist([]float64{0, 1, 2})
+	lk, _ := Build(d, Average)
+	if _, err := lk.CopheneticCorrelation(dist([]float64{0, 1})); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	two, _ := Build(dist([]float64{0, 1}), Average)
+	if _, err := two.CopheneticCorrelation(dist([]float64{0, 1})); err == nil {
+		t.Error("n<3 accepted")
+	}
+	same, _ := Build(dist([]float64{1, 1, 1}), Average)
+	if _, err := same.CopheneticCorrelation(dist([]float64{1, 1, 1})); err == nil {
+		t.Error("zero variance accepted")
+	}
+}

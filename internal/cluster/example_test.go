@@ -1,0 +1,26 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/cluster"
+)
+
+// Clustering three traces by dissimilarity with ward linkage and cutting
+// the dendrogram into two groups.
+func ExampleBuild() {
+	// T0 and T1 are nearly identical; T2 is far from both.
+	d := [][]float64{
+		{0.0, 0.1, 0.9},
+		{0.1, 0.0, 0.8},
+		{0.9, 0.8, 0.0},
+	}
+	lk, err := cluster.Build(d, cluster.Ward)
+	if err != nil {
+		panic(err)
+	}
+	labels, _ := lk.CutK(2)
+	fmt.Println(labels)
+	// Output:
+	// [0 0 1]
+}

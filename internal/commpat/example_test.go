@@ -1,0 +1,16 @@
+package commpat_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/commpat"
+)
+
+// Classifying a ring communication matrix against the pattern library.
+func ExampleClassify() {
+	m := commpat.Canonical(commpat.Ring, 8)
+	best := commpat.Classify(m)[0]
+	fmt.Printf("%v %.2f\n", best.Pattern, best.Similarity)
+	// Output:
+	// ring 1.00
+}

@@ -1,0 +1,255 @@
+// Package core is DiffTrace's pipeline (Figure 1): it wires the substrates
+// together into the paper's analysis loop —
+//
+//	ParLOT traces → filter → NLR → FCA attributes → concept lattice / JSM
+//	  → JSM_D → hierarchical clustering → B-score → suspect ranking
+//	  → diffNLR of the suspicious traces.
+//
+// One DiffRun compares a normal execution's TraceSet against a faulty one
+// under a single parameter combination (filter spec, attribute config,
+// linkage method); the rank package sweeps combinations to build the
+// paper's ranking tables.
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"difftrace/internal/attr"
+	"difftrace/internal/bscore"
+	"difftrace/internal/cluster"
+	"difftrace/internal/diffnlr"
+	"difftrace/internal/fca"
+	"difftrace/internal/filter"
+	"difftrace/internal/jaccard"
+	"difftrace/internal/nlr"
+	"difftrace/internal/trace"
+)
+
+// Config is one parameter combination of the DiffTrace loop (the dashed box
+// of Figure 1): the four user knobs of §II-F.
+type Config struct {
+	Filter  *filter.Filter // knob 4: front-end filter (carries the NLR K, knob 3)
+	Attr    attr.Config    // knob 2: FCA attributes (Table V)
+	Linkage cluster.Method // knob 1: dendrogram linkage method
+	// BuildLattices materializes the concept lattices (needed for lattice
+	// inspection/rendering; the JSM itself is derivable either way).
+	BuildLattices bool
+}
+
+// DefaultConfig mirrors the paper's experiment settings: drop returns and
+// PLT, keep MPI calls, K=10, single/noFreq attributes, ward linkage.
+func DefaultConfig() Config {
+	return Config{
+		Filter:  filter.New(filter.MPIAll),
+		Attr:    attr.Config{Kind: attr.Single, Freq: attr.NoFreq},
+		Linkage: cluster.Ward,
+	}
+}
+
+// Analysis is one execution analyzed at one granularity.
+type Analysis struct {
+	NLR     map[string][]nlr.Element // object name -> summarized sequence
+	Attrs   map[string]fca.AttrSet
+	JSM     *jaccard.JSM
+	Lattice *fca.Lattice // nil unless Config.BuildLattices
+	Linkage *cluster.Linkage
+}
+
+// Level is the complete normal-vs-faulty comparison at one granularity
+// (threads or processes).
+type Level struct {
+	Normal, Faulty *Analysis
+	JSMD           *jaccard.JSM
+	BScore         float64
+	Suspects       []jaccard.Suspect
+}
+
+// TopSuspects returns up to k object names whose similarity rows changed by
+// more than eps.
+func (l *Level) TopSuspects(k int, eps float64) []string {
+	var out []string
+	for _, s := range l.Suspects {
+		if len(out) >= k || s.Score <= eps {
+			break
+		}
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Report is the output of one DiffRun.
+type Report struct {
+	Cfg       Config
+	LoopTable *nlr.Table
+	Threads   *Level // objects are "p.t" thread traces
+	Processes *Level // objects are "p" merged process traces
+}
+
+// DiffRun executes the full pipeline for one parameter combination.
+func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
+	if cfg.Filter == nil {
+		cfg.Filter = filter.Everything()
+	}
+	if cfg.Attr.Kind == attr.Context && cfg.Filter.DropReturns {
+		return nil, fmt.Errorf("core: caller/callee (ctx) attributes need return events; use a filter spec starting with 0")
+	}
+	table := nlr.NewTable()
+	rep := &Report{Cfg: cfg, LoopTable: table}
+
+	fn := cfg.Filter.ApplySet(normal)
+	ff := cfg.Filter.ApplySet(faulty)
+
+	threads, err := diffLevel(threadObjects(fn), threadObjects(ff), cfg, table)
+	if err != nil {
+		return nil, fmt.Errorf("core: thread level: %w", err)
+	}
+	rep.Threads = threads
+
+	procs, err := diffLevel(processObjects(fn), processObjects(ff), cfg, table)
+	if err != nil {
+		return nil, fmt.Errorf("core: process level: %w", err)
+	}
+	rep.Processes = procs
+	return rep, nil
+}
+
+// object is a named filtered trace.
+type object struct {
+	name string
+	tr   *trace.Trace
+	reg  *trace.Registry
+}
+
+// threadObjects names every per-thread trace "p.t".
+func threadObjects(s *trace.TraceSet) []object {
+	var out []object
+	for _, id := range s.IDs() {
+		out = append(out, object{name: id.String(), tr: s.Traces[id], reg: s.Registry})
+	}
+	return out
+}
+
+// processObjects merges each process's threads into one object named "p".
+func processObjects(s *trace.TraceSet) []object {
+	var out []object
+	for _, p := range s.Processes() {
+		out = append(out, object{name: strconv.Itoa(p), tr: s.ProcessTrace(p), reg: s.Registry})
+	}
+	return out
+}
+
+// union aligns two object lists by name: objects missing on one side get an
+// empty trace (a thread that never spawned in the faulty run is itself a
+// signal, not an error).
+func union(a, b []object) ([]object, []object) {
+	names := map[string]bool{}
+	for _, o := range a {
+		names[o.name] = true
+	}
+	for _, o := range b {
+		names[o.name] = true
+	}
+	fill := func(objs []object, reg *trace.Registry) []object {
+		have := map[string]bool{}
+		for _, o := range objs {
+			have[o.name] = true
+		}
+		for n := range names {
+			if !have[n] {
+				objs = append(objs, object{name: n, tr: &trace.Trace{}, reg: reg})
+			}
+		}
+		return objs
+	}
+	var regA, regB *trace.Registry
+	if len(a) > 0 {
+		regA = a[0].reg
+	}
+	if len(b) > 0 {
+		regB = b[0].reg
+	}
+	return fill(a, regA), fill(b, regB)
+}
+
+// analyze summarizes, attributes, and clusters one execution's objects.
+func analyze(objs []object, cfg Config, table *nlr.Table) (*Analysis, error) {
+	a := &Analysis{
+		NLR:   make(map[string][]nlr.Element, len(objs)),
+		Attrs: make(map[string]fca.AttrSet, len(objs)),
+	}
+	// Two passes so that loops discovered in later traces fold in earlier
+	// ones (the shared-loop-table heuristic; see nlr.SummarizeSet).
+	for _, o := range objs {
+		nlr.SummarizeTrace(o.tr, o.reg, cfg.Filter.K, table)
+	}
+	for _, o := range objs {
+		elems := nlr.SummarizeTrace(o.tr, o.reg, cfg.Filter.K, table)
+		a.NLR[o.name] = elems
+		if cfg.Attr.Kind == attr.Context {
+			// Caller→callee attributes come from the raw enter/exit
+			// nesting, not the NLR sequence.
+			a.Attrs[o.name] = attr.ExtractContext(o.tr, o.reg, cfg.Attr.Freq)
+		} else {
+			a.Attrs[o.name] = attr.Extract(elems, cfg.Attr)
+		}
+	}
+	if cfg.BuildLattices {
+		a.Lattice = fca.NewLattice()
+		for _, o := range objs {
+			a.Lattice.AddObject(o.name, a.Attrs[o.name])
+		}
+		a.JSM = jaccard.FromLattice(a.Lattice)
+	} else {
+		a.JSM = jaccard.New(a.Attrs)
+	}
+	lk, err := cluster.Build(a.JSM.Distance(), cfg.Linkage)
+	if err != nil {
+		return nil, err
+	}
+	a.Linkage = lk
+	return a, nil
+}
+
+// diffLevel runs both analyses and the comparison at one granularity.
+func diffLevel(nObjs, fObjs []object, cfg Config, table *nlr.Table) (*Level, error) {
+	nObjs, fObjs = union(nObjs, fObjs)
+	normal, err := analyze(nObjs, cfg, table)
+	if err != nil {
+		return nil, err
+	}
+	faulty, err := analyze(fObjs, cfg, table)
+	if err != nil {
+		return nil, err
+	}
+	jsmd, err := jaccard.Diff(faulty.JSM, normal.JSM)
+	if err != nil {
+		return nil, err
+	}
+	b, err := bscore.BScore(normal.Linkage, faulty.Linkage)
+	if err != nil {
+		return nil, err
+	}
+	return &Level{
+		Normal:   normal,
+		Faulty:   faulty,
+		JSMD:     jsmd,
+		BScore:   b,
+		Suspects: jsmd.Suspects(),
+	}, nil
+}
+
+// DiffNLR renders the diffNLR(x) view for an object of the given level
+// (§II-F.1): the Myers diff of its normal vs faulty NLR token sequences.
+func (r *Report) DiffNLR(level *Level, name string) (*diffnlr.DiffNLR, error) {
+	n, ok := level.Normal.NLR[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown object %q", name)
+	}
+	f := level.Faulty.NLR[name]
+	id, err := trace.ParseThreadID(name)
+	if err != nil {
+		id = trace.TID(0, 0)
+	}
+	return diffnlr.Compute(id, nlr.Tokens(n), nlr.Tokens(f), r.LoopTable), nil
+}

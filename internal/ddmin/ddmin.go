@@ -1,0 +1,101 @@
+// Package ddmin implements Zeller's delta-debugging minimization algorithm
+// ("Yesterday, my program worked. Today, it does not. Why?" — ESEC/FSE'99,
+// the paper's reference [36], named in §VI as a direct inspiration for
+// computing differences with previous executions).
+//
+// Minimize reduces a failure-inducing change set to a 1-minimal one: a set
+// where removing any single element makes the failure disappear. DiffTrace
+// uses it to shrink composite fault plans to their root-cause faults and to
+// simplify failing traces, but the algorithm is generic.
+package ddmin
+
+// Minimize returns a 1-minimal subsequence of items that still satisfies
+// test ("still fails"). test must hold for items itself; test(nil) is
+// assumed false (an empty change set cannot fail). The relative order of
+// the surviving items is preserved. The number of test invocations is
+// O(n²) worst case, O(log n) for a single culprit — Zeller's ddmin bounds.
+func Minimize[T any](items []T, test func([]T) bool) []T {
+	if len(items) == 0 || !test(items) {
+		return nil
+	}
+	cur := append([]T(nil), items...)
+	n := 2
+	for len(cur) >= 2 {
+		chunks := split(cur, n)
+		reduced := false
+
+		// Try each chunk alone ("reduce to subset").
+		for _, c := range chunks {
+			if test(c) {
+				cur = c
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		// Try each complement ("reduce to complement").
+		if n > 2 || len(chunks) > 2 {
+			for i := range chunks {
+				comp := complement(chunks, i)
+				if test(comp) {
+					cur = comp
+					if n-1 >= 2 {
+						n = n - 1
+					}
+					reduced = true
+					break
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+		// Refine granularity or stop.
+		if n >= len(cur) {
+			break
+		}
+		n = min(len(cur), 2*n)
+	}
+	return cur
+}
+
+// split partitions items into n non-empty, near-equal, order-preserving
+// chunks (fewer than n when len(items) < n).
+func split[T any](items []T, n int) [][]T {
+	if n > len(items) {
+		n = len(items)
+	}
+	out := make([][]T, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + (len(items)-start)/(n-i)
+		if end == start {
+			end = start + 1
+		}
+		out = append(out, items[start:end])
+		start = end
+	}
+	return out
+}
+
+// complement concatenates every chunk except chunks[skip].
+func complement[T any](chunks [][]T, skip int) []T {
+	var out []T
+	for i, c := range chunks {
+		if i == skip {
+			continue
+		}
+		out = append(out, c...)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

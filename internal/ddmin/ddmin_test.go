@@ -1,0 +1,204 @@
+package ddmin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/faults"
+)
+
+// contains reports whether sub ⊆ sup as multisets of ints.
+func contains(sup, sub []int) bool {
+	counts := map[int]int{}
+	for _, v := range sup {
+		counts[v]++
+	}
+	for _, v := range sub {
+		if counts[v] == 0 {
+			return false
+		}
+		counts[v]--
+	}
+	return true
+}
+
+func TestSingleCulprit(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	calls := 0
+	test := func(s []int) bool {
+		calls++
+		for _, v := range s {
+			if v == 37 {
+				return true
+			}
+		}
+		return false
+	}
+	got := Minimize(items, test)
+	if !reflect.DeepEqual(got, []int{37}) {
+		t.Fatalf("minimized = %v", got)
+	}
+	if calls > 200 {
+		t.Errorf("ddmin used %d tests for a single culprit in 64 items", calls)
+	}
+}
+
+func TestTwoCulpritsInteraction(t *testing.T) {
+	// Failure requires BOTH 3 and 12 (an interacting pair).
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	test := func(s []int) bool {
+		has3, has12 := false, false
+		for _, v := range s {
+			if v == 3 {
+				has3 = true
+			}
+			if v == 12 {
+				has12 = true
+			}
+		}
+		return has3 && has12
+	}
+	got := Minimize(items, test)
+	if !reflect.DeepEqual(got, []int{3, 12}) {
+		t.Fatalf("minimized = %v", got)
+	}
+}
+
+func TestNonFailingInput(t *testing.T) {
+	if got := Minimize([]int{1, 2, 3}, func([]int) bool { return false }); got != nil {
+		t.Errorf("non-failing input minimized to %v", got)
+	}
+	if got := Minimize(nil, func([]int) bool { return true }); got != nil {
+		t.Errorf("empty input minimized to %v", got)
+	}
+}
+
+func TestAllItemsRequired(t *testing.T) {
+	items := []int{1, 2, 3, 4}
+	test := func(s []int) bool { return len(s) == 4 }
+	got := Minimize(items, test)
+	if !reflect.DeepEqual(got, items) {
+		t.Errorf("minimized = %v, want all items", got)
+	}
+}
+
+func TestOrderPreserved(t *testing.T) {
+	items := []int{9, 5, 7, 1, 8}
+	test := func(s []int) bool {
+		// Fails when both 5 and 8 present.
+		has5, has8 := false, false
+		for _, v := range s {
+			if v == 5 {
+				has5 = true
+			}
+			if v == 8 {
+				has8 = true
+			}
+		}
+		return has5 && has8
+	}
+	got := Minimize(items, test)
+	if !reflect.DeepEqual(got, []int{5, 8}) {
+		t.Errorf("minimized = %v (order must be preserved)", got)
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5, 6, 7}
+	for n := 1; n <= 9; n++ {
+		chunks := split(items, n)
+		var flat []int
+		for _, c := range chunks {
+			if len(c) == 0 {
+				t.Fatalf("split(%d) produced empty chunk", n)
+			}
+			flat = append(flat, c...)
+		}
+		if !reflect.DeepEqual(flat, items) {
+			t.Fatalf("split(%d) lost items: %v", n, chunks)
+		}
+	}
+}
+
+// TestMinimizeFaultPlan is the DiffTrace application: a composite fault
+// plan with one deadlock-inducing fault and several benign ones is shrunk
+// to the single root cause.
+func TestMinimizeFaultPlan(t *testing.T) {
+	all := []faults.Fault{
+		{Kind: faults.SwapSendRecv, Process: 1, Thread: -1, AfterIteration: 3},  // benign: completes
+		{Kind: faults.SwapSendRecv, Process: 9, Thread: -1, AfterIteration: 2},  // benign
+		{Kind: faults.DeadlockStop, Process: 5, Thread: -1, AfterIteration: 7},  // the culprit
+		{Kind: faults.SwapSendRecv, Process: 13, Thread: -1, AfterIteration: 5}, // benign
+	}
+	deadlocks := func(fs []faults.Fault) bool {
+		res, err := oddeven.Run(oddeven.Config{
+			Procs: 16, Seed: 5, Plan: faults.NewPlan(fs...),
+		})
+		return err == nil && res.Deadlocked
+	}
+	got := Minimize(all, deadlocks)
+	if len(got) != 1 || got[0].Kind != faults.DeadlockStop {
+		t.Fatalf("minimized plan = %v", got)
+	}
+}
+
+// Property: the result satisfies test, is a subsequence of the input, and
+// is 1-minimal (removing any single element breaks the test) for monotone
+// membership tests.
+func TestQuickOneMinimal(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%20 + 1
+		items := make([]int, n)
+		for i := range items {
+			items[i] = i
+		}
+		// Random required subset (nonempty).
+		required := map[int]bool{}
+		for i := 0; i < rng.Intn(4)+1; i++ {
+			required[rng.Intn(n)] = true
+		}
+		test := func(s []int) bool {
+			have := map[int]bool{}
+			for _, v := range s {
+				have[v] = true
+			}
+			for r := range required {
+				if !have[r] {
+					return false
+				}
+			}
+			return true
+		}
+		got := Minimize(items, test)
+		if !test(got) || !contains(items, got) {
+			return false
+		}
+		// Exactly the required set (sorted order preserved from items).
+		if len(got) != len(required) {
+			return false
+		}
+		for _, v := range got {
+			if !required[v] {
+				return false
+			}
+		}
+		// 1-minimality: dropping any element fails.
+		for i := range got {
+			reduced := append(append([]int{}, got[:i]...), got[i+1:]...)
+			if test(reduced) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

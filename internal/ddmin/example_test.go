@@ -1,0 +1,23 @@
+package ddmin_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/ddmin"
+)
+
+// Minimizing a change set to the single element that causes the failure.
+func ExampleMinimize() {
+	changes := []string{"refactor", "bump-dep", "swap-send-recv", "rename"}
+	fails := func(s []string) bool {
+		for _, c := range s {
+			if c == "swap-send-recv" {
+				return true
+			}
+		}
+		return false
+	}
+	fmt.Println(ddmin.Minimize(changes, fails))
+	// Output:
+	// [swap-send-recv]
+}

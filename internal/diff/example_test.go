@@ -1,0 +1,22 @@
+package diff_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/diff"
+)
+
+// The Figure 5 scenario: the normal trace's single loop becomes two loops
+// in the faulty trace.
+func ExampleDiff() {
+	normal := []string{"MPI_Init", "L1^16", "MPI_Finalize"}
+	faulty := []string{"MPI_Init", "L1^7", "L0^9", "MPI_Finalize"}
+	for _, e := range diff.Diff(normal, faulty) {
+		fmt.Println(e.Op, e.Tokens)
+	}
+	// Output:
+	// = [MPI_Init]
+	// - [L1^16]
+	// + [L1^7 L0^9]
+	// = [MPI_Finalize]
+}

@@ -1,0 +1,31 @@
+package diff
+
+import "testing"
+
+// FuzzDiffApply: Apply(a, Diff(a,b)) == b for arbitrary sequences.
+func FuzzDiffApply(f *testing.F) {
+	f.Add([]byte("ABCABBA"), []byte("CBABAC"))
+	f.Add([]byte(""), []byte("x"))
+	f.Fuzz(func(t *testing.T, ra, rb []byte) {
+		mk := func(raw []byte) []string {
+			out := make([]string, len(raw))
+			for i, r := range raw {
+				out[i] = string(rune('a' + int(r)%6))
+			}
+			return out
+		}
+		a, b := mk(ra), mk(rb)
+		got, err := Apply(a, Diff(a, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(b) {
+			t.Fatalf("len %d != %d", len(got), len(b))
+		}
+		for i := range got {
+			if got[i] != b[i] {
+				t.Fatalf("token %d: %q != %q", i, got[i], b[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,204 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index of DESIGN.md): each Experiment runs
+// the relevant workload through the DiffTrace pipeline, prints the same
+// rows/series the paper reports, and self-checks the qualitative *shape*
+// of the result (who is flagged, what truncates, what compresses).
+//
+// Absolute numbers (B-scores, byte counts) depend on the authors' binaries
+// and testbed and are not expected to match; the Outcome of each experiment
+// records what was measured so EXPERIMENTS.md can compare paper vs. repo.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"difftrace/internal/faults"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+
+	"difftrace/internal/apps/ilcs"
+	"difftrace/internal/apps/lulesh"
+	"difftrace/internal/apps/oddeven"
+)
+
+// Outcome is an experiment's structured result.
+type Outcome struct {
+	// Pass reports whether the paper-shape self-check held.
+	Pass bool
+	// Metrics are the headline measurements, for EXPERIMENTS.md.
+	Metrics map[string]string
+	// Note explains failures or caveats.
+	Note string
+}
+
+func newOutcome() *Outcome { return &Outcome{Pass: true, Metrics: map[string]string{}} }
+
+func (o *Outcome) fail(format string, args ...any) {
+	o.Pass = false
+	if o.Note != "" {
+		o.Note += "; "
+	}
+	o.Note += fmt.Sprintf(format, args...)
+}
+
+func (o *Outcome) metric(key, format string, args ...any) {
+	o.Metrics[key] = fmt.Sprintf(format, args...)
+}
+
+// sortedMetricKeys for deterministic rendering.
+func (o *Outcome) sortedMetricKeys() []string {
+	keys := make([]string, 0, len(o.Metrics))
+	for k := range o.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Summary renders the outcome compactly.
+func (o *Outcome) Summary() string {
+	s := "PASS"
+	if !o.Pass {
+		s = "FAIL (" + o.Note + ")"
+	}
+	for _, k := range o.sortedMetricKeys() {
+		s += fmt.Sprintf("\n  %s = %s", k, o.Metrics[k])
+	}
+	return s
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID       string // e.g. "tableII"
+	PaperRef string // e.g. "Table II (§II-C)"
+	Title    string
+	Run      func(w io.Writer) (*Outcome, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"tableII", "Table II (§II-C)", "Pre-processed odd/even traces, 4 ranks", TableII},
+		{"tableIII", "Table III (§II-D)", "NLR of the odd/even traces", TableIII},
+		{"tableIV", "Table IV (§II-E)", "Formal context of the odd/even traces", TableIV},
+		{"fig3", "Figure 3 (§II-E)", "Concept lattice of the odd/even context", Figure3},
+		{"fig4", "Figure 4 (§II-E)", "Pairwise Jaccard similarity matrix", Figure4},
+		{"fig5", "Figure 5 (§II-G)", "diffNLR(5) under swapBug, 16 ranks", Figure5},
+		{"fig6", "Figure 6 (§II-G)", "diffNLR(5) under dlBug, 16 ranks", Figure6},
+		{"tableVI", "Table VI (§IV-B)", "ILCS ranking: unprotected memcpy in 6.4", TableVI},
+		{"tableVII", "Table VII (§IV-C)", "ILCS ranking: wrong collective size in rank 2", TableVII},
+		{"tableVIII", "Table VIII (§IV-D)", "ILCS ranking: MPI_MIN->MPI_MAX in rank 0", TableVIII},
+		{"fig7", "Figure 7 (§IV)", "Three ILCS diffNLR outputs", Figure7},
+		{"lulesh-stats", "§V statistics", "LULESH trace statistics and NLR reduction", LULESHStats},
+		{"tableIX", "Table IX (§V)", "LULESH ranking: rank 2 skips LagrangeLeapFrog", TableIX},
+		{"compression", "ParLOT [4] claim", "Incremental trace-compression ratios", Compression},
+		{"progress-dlbug", "extension (§VI Prodometer)", "Least-progressed task vs STAT on the dlBug cascade", ProgressDlBug},
+		{"classify-bugs", "extension (§VII item 3)", "Systematic bug injection + leave-one-out classification", ClassifyBugs},
+		{"baselines", "extension (§VI)", "STAT / AutomaDeD / comm-diff / progress / DiffTrace side by side", Baselines},
+	}
+}
+
+// Get finds an experiment by ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared workload runners -------------------------------------------
+
+// runOddEven collects traces from one odd/even execution.
+func runOddEven(reg *trace.Registry, procs int, plan *faults.Plan) (*trace.TraceSet, *oddeven.Result, error) {
+	tr := parlot.NewTracerWith(parlot.MainImage, reg)
+	res, err := oddeven.Run(oddeven.Config{Procs: procs, Seed: 5, Plan: plan, Tracer: tr})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr.Collect(), res, nil
+}
+
+// ilcsConfig is the §IV setup scaled to a single-machine run: 8 processes
+// × 4 worker threads, real 2-opt TSP work.
+func ilcsConfig(reg *trace.Registry, plan *faults.Plan) (ilcs.Config, *parlot.Tracer) {
+	tr := parlot.NewTracerWith(parlot.MainImage, reg)
+	return ilcs.Config{
+		Procs: 8, Workers: 4, Cities: 12, Seed: 11,
+		StableRounds: 2, MaxRounds: 10, EvalsPerRound: 4,
+		Plan: plan, Tracer: tr,
+	}, tr
+}
+
+// ilcsHardConfig is the §IV-D setup: the wrong-operation bug only manifests
+// when the TSP instance is hard enough that per-node champions stay spread
+// across nodes for several champion rounds (on a trivial instance every
+// node converges to the same optimum and MIN/MAX reduce identically).
+func ilcsHardConfig(reg *trace.Registry, plan *faults.Plan) (ilcs.Config, *parlot.Tracer) {
+	tr := parlot.NewTracerWith(parlot.MainImage, reg)
+	return ilcs.Config{
+		Procs: 8, Workers: 4, Cities: 100, Seed: 11,
+		StableRounds: 3, MaxRounds: 16, EvalsPerRound: 3,
+		Plan: plan, Tracer: tr,
+	}, tr
+}
+
+func runILCS(reg *trace.Registry, plan *faults.Plan) (*trace.TraceSet, *ilcs.Result, error) {
+	cfg, tr := ilcsConfig(reg, plan)
+	res, err := ilcs.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr.Collect(), res, nil
+}
+
+func runILCSHard(reg *trace.Registry, plan *faults.Plan) (*trace.TraceSet, *ilcs.Result, error) {
+	cfg, tr := ilcsHardConfig(reg, plan)
+	res, err := ilcs.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr.Collect(), res, nil
+}
+
+// luleshConfig is the §V setup: 8 processes × 4 threads, single cycle.
+func luleshConfig(reg *trace.Registry, plan *faults.Plan, edge, regions, cycles int) (lulesh.Config, *parlot.Tracer) {
+	tr := parlot.NewTracerWith(parlot.MainImage, reg)
+	return lulesh.Config{
+		Procs: 8, Threads: 4, EdgeElems: edge, Regions: regions,
+		ChunkSize: 8, Cycles: cycles, Plan: plan, Tracer: tr,
+	}, tr
+}
+
+func runLULESH(reg *trace.Registry, plan *faults.Plan, edge, regions, cycles int) (*trace.TraceSet, *lulesh.Result, error) {
+	cfg, tr := luleshConfig(reg, plan, edge, regions, cycles)
+	res, err := lulesh.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr.Collect(), res, nil
+}
+
+var (
+	swapBugPlan = faults.NewPlan(faults.Fault{
+		Kind: faults.SwapSendRecv, Process: 5, Thread: -1, AfterIteration: 7,
+	})
+	dlBugPlan = faults.NewPlan(faults.Fault{
+		Kind: faults.DeadlockStop, Process: 5, Thread: -1, AfterIteration: 7,
+	})
+	ompBugPlan = faults.NewPlan(faults.Fault{
+		Kind: faults.OmitCritical, Process: 6, Thread: 4,
+	})
+	wrongSizePlan = faults.NewPlan(faults.Fault{
+		Kind: faults.WrongCollectiveSize, Process: 2, Thread: -1,
+	})
+	wrongOpPlan = faults.NewPlan(faults.Fault{
+		Kind: faults.WrongReduceOp, Process: 0, Thread: -1,
+	})
+	skipLeapFrogPlan = faults.NewPlan(faults.Fault{
+		Kind: faults.SkipFunction, Process: 2, Thread: -1, Target: "LagrangeLeapFrog",
+	})
+)

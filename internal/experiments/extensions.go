@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"difftrace/internal/apps/ilcs"
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/attr"
+	"difftrace/internal/classify"
+	"difftrace/internal/core"
+	"difftrace/internal/faults"
+	"difftrace/internal/filter"
+	"difftrace/internal/parlot"
+	"difftrace/internal/progress"
+	"difftrace/internal/stat"
+	"difftrace/internal/trace"
+)
+
+// ProgressDlBug is extension experiment X1 (§VI/VII future work: Prodometer
+// incorporation): on the dlBug cascade — where the JSM_D ranking spreads
+// over every truncated trace and STAT's stack classes lump rank 5 with all
+// fourteen cascade victims — the NLR-based relative-progress measure ranks
+// rank 5 least progressed, pointing straight at the root cause.
+func ProgressDlBug(w io.Writer) (*Outcome, error) {
+	o := newOutcome()
+	reg := trace.NewRegistry()
+	normal, _, err := runOddEven(reg, 16, nil)
+	if err != nil {
+		return nil, err
+	}
+	faulty, fres, err := runOddEven(reg, 16, dlBugPlan)
+	if err != nil {
+		return nil, err
+	}
+	if !fres.Deadlocked {
+		o.fail("dlBug run did not deadlock")
+	}
+
+	// The STAT baseline first: one big stuck-in-MPI_Recv class.
+	tree := stat.Build(faulty)
+	fmt.Fprintln(w, "STAT view of the deadlocked run:")
+	fmt.Fprint(w, tree.Render())
+	classes := tree.Classes()
+	o.metric("stat_classes", "%d", len(classes))
+	if len(classes) > 0 {
+		o.metric("stat_largest_class", "%d members @ %s",
+			len(classes[0].Members), classes[0].Signature())
+		if len(classes[0].Members) < 10 {
+			o.fail("STAT should lump the cascade victims together")
+		}
+	}
+
+	// The progress measure separates them.
+	flt := filter.New(filter.MPIAll)
+	pa := progress.Analyze(flt.ApplySet(normal), flt.ApplySet(faulty), 10)
+	fmt.Fprintln(w, "\nrelative progress:")
+	fmt.Fprint(w, pa.Render())
+	least := pa.LeastProgressed(1)
+	if len(least) != 1 {
+		o.fail("no progress ranking produced")
+		return o, nil
+	}
+	o.metric("least_progressed", "%s", least[0])
+	o.metric("least_progress_score", "%.3f", pa.Tasks[0].Score)
+	if least[0] != trace.TID(5, 0) {
+		o.fail("least progressed = %v, want 5.0", least[0])
+	}
+	return o, nil
+}
+
+// classifySample runs one normal/faulty pair and extracts its feature
+// vector under a fixed analysis configuration.
+func classifySample(label string, seed int64, mk func(seed int64, plan *faults.Plan, tr *parlot.Tracer) error, plan *faults.Plan) (classify.Sample, error) {
+	reg := trace.NewRegistry()
+	collect := func(p *faults.Plan) (*trace.TraceSet, error) {
+		tr := parlot.NewTracerWith(parlot.MainImage, reg)
+		if err := mk(seed, p, tr); err != nil {
+			return nil, err
+		}
+		return tr.Collect(), nil
+	}
+	normal, err := collect(nil)
+	if err != nil {
+		return classify.Sample{}, err
+	}
+	faulty, err := collect(plan)
+	if err != nil {
+		return classify.Sample{}, err
+	}
+	flt, err := filter.ParseSpec("11.0K10")
+	if err != nil {
+		return classify.Sample{}, err
+	}
+	rep, err := core.DiffRun(normal, faulty, core.Config{
+		Filter: flt,
+		Attr:   attr.Config{Kind: attr.Single, Freq: attr.Actual},
+	})
+	if err != nil {
+		return classify.Sample{}, err
+	}
+	return classify.Sample{
+		Label:  label,
+		Vector: classify.Features(rep, normal, faulty, 10),
+	}, nil
+}
+
+// ClassifyBugs is extension experiment X2 (§VII future work 3): systematic
+// bug injection across the paper's bug classes, feature extraction from the
+// lattice/NLR pipeline, and leave-one-out classification accuracy.
+func ClassifyBugs(w io.Writer) (*Outcome, error) {
+	o := newOutcome()
+
+	runOdd := func(seed int64, plan *faults.Plan, tr *parlot.Tracer) error {
+		_, err := oddeven.Run(oddeven.Config{Procs: 16, Seed: seed, Plan: plan, Tracer: tr})
+		return err
+	}
+	runIlcs := func(seed int64, plan *faults.Plan, tr *parlot.Tracer) error {
+		_, err := ilcs.Run(ilcs.Config{
+			Procs: 8, Workers: 4, Cities: 12, Seed: seed,
+			StableRounds: 2, MaxRounds: 10, EvalsPerRound: 4,
+			Plan: plan, Tracer: tr,
+		})
+		return err
+	}
+
+	var samples []classify.Sample
+	add := func(s classify.Sample, err error) error {
+		if err != nil {
+			return err
+		}
+		samples = append(samples, s)
+		return nil
+	}
+	// Four samples per class, varying both the seed and the injected site.
+	for i := 0; i < 4; i++ {
+		seed := int64(100 + i*17)
+		target := 3 + 2*i // ranks 3,5,7,9
+		if err := add(classifySample("swapBug", seed, runOdd, faults.NewPlan(faults.Fault{
+			Kind: faults.SwapSendRecv, Process: target, Thread: -1, AfterIteration: 7,
+		}))); err != nil {
+			return nil, err
+		}
+		if err := add(classifySample("dlBug", seed, runOdd, faults.NewPlan(faults.Fault{
+			Kind: faults.DeadlockStop, Process: target, Thread: -1, AfterIteration: 7,
+		}))); err != nil {
+			return nil, err
+		}
+		if err := add(classifySample("ompBug", seed, runIlcs, faults.NewPlan(faults.Fault{
+			Kind: faults.OmitCritical, Process: (i*2 + 1) % 8, Thread: 1 + i%4,
+		}))); err != nil {
+			return nil, err
+		}
+		if err := add(classifySample("wrongSize", seed, runIlcs, faults.NewPlan(faults.Fault{
+			Kind: faults.WrongCollectiveSize, Process: (i * 2) % 8, Thread: -1,
+		}))); err != nil {
+			return nil, err
+		}
+	}
+
+	fmt.Fprintf(w, "systematic bug injection: %d labeled comparisons, 4 classes\n", len(samples))
+	for _, s := range samples {
+		fmt.Fprintf(w, "  %-10s %s\n", s.Label, s.Vector)
+	}
+	acc, preds, err := classify.LeaveOneOut(samples)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "\nleave-one-out accuracy: %.2f\n", acc)
+	fmt.Fprint(w, classify.ConfusionMatrix(samples, preds))
+
+	o.metric("samples", "%d", len(samples))
+	o.metric("loo_accuracy", "%.2f", acc)
+	if acc < 0.7 {
+		o.fail("leave-one-out accuracy %.2f below 0.7 — features not separating bug classes", acc)
+	}
+	return o, nil
+}

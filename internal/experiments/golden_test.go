@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden artifact files")
+
+// TestGoldenArtifacts pins the deterministic paper artifacts byte for byte:
+// any unintended change to the trace collection, filtering, NLR, FCA, or
+// rendering layers shows up as a golden diff. Regenerate intentionally with
+//
+//	go test ./internal/experiments -run TestGoldenArtifacts -update
+func TestGoldenArtifacts(t *testing.T) {
+	cases := []string{"tableII", "tableIII", "tableIV", "fig3", "fig4"}
+	for _, id := range cases {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			var buf bytes.Buffer
+			out, err := e.Run(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Pass {
+				t.Fatalf("shape check failed: %s", out.Note)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("artifact drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, buf.String(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilPlanIsFaultFree(t *testing.T) {
+	var p *Plan
+	if p.Active(SwapSendRecv, 5, 0, 100) {
+		t.Error("nil plan injected a fault")
+	}
+	if !p.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if p.String() != "fault-free" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestProcessAndThreadMatching(t *testing.T) {
+	p := NewPlan(Fault{Kind: OmitCritical, Process: 6, Thread: 4})
+	if !p.Active(OmitCritical, 6, 4, 0) {
+		t.Error("exact match missed")
+	}
+	if p.Active(OmitCritical, 6, 3, 0) || p.Active(OmitCritical, 5, 4, 0) {
+		t.Error("wrong thread/process matched")
+	}
+	if p.Active(SwapSendRecv, 6, 4, 0) {
+		t.Error("wrong kind matched")
+	}
+}
+
+func TestWildcardMatching(t *testing.T) {
+	p := NewPlan(Fault{Kind: SkipFunction, Process: -1, Thread: -1, Target: "LagrangeLeapFrog"})
+	if !p.Active(SkipFunction, 7, 3, 0) {
+		t.Error("wildcard missed")
+	}
+	f := p.Find(SkipFunction, 2, 0, 0)
+	if f == nil || f.Target != "LagrangeLeapFrog" {
+		t.Errorf("Find = %v", f)
+	}
+}
+
+func TestAfterIteration(t *testing.T) {
+	// The paper's swapBug: rank 5 after the seventh iteration.
+	p := NewPlan(Fault{Kind: SwapSendRecv, Process: 5, Thread: -1, AfterIteration: 7})
+	if p.Active(SwapSendRecv, 5, 0, 6) {
+		t.Error("fired before iteration 7")
+	}
+	for _, it := range []int{7, 8, 15} {
+		if !p.Active(SwapSendRecv, 5, 0, it) {
+			t.Errorf("not active at iteration %d", it)
+		}
+	}
+}
+
+func TestMultipleFaults(t *testing.T) {
+	p := NewPlan(
+		Fault{Kind: SwapSendRecv, Process: 5, Thread: -1, AfterIteration: 7},
+		Fault{Kind: WrongReduceOp, Process: 0, Thread: -1},
+	)
+	if !p.Active(SwapSendRecv, 5, 0, 9) || !p.Active(WrongReduceOp, 0, 0, 0) {
+		t.Error("multi-fault plan missed")
+	}
+	if p.Empty() {
+		t.Error("plan with faults reported empty")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	f := Fault{Kind: DeadlockStop, Process: 5, Thread: 2, AfterIteration: 7, Target: "x"}
+	s := f.String()
+	for _, want := range []string{"deadlockStop", "process 5", "thread 2", "iteration 7", "target x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+	p := NewPlan(f, Fault{Kind: OmitCritical, Process: 1, Thread: -1})
+	if !strings.Contains(p.String(), ";") {
+		t.Errorf("plan string = %q", p.String())
+	}
+}

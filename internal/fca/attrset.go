@@ -1,0 +1,114 @@
+// Package fca implements Formal Concept Analysis (§III-B): formal contexts
+// whose objects are traces and whose attributes are mined trace features,
+// concept lattices built with Godin's incremental algorithm, and Ganter's
+// batch NextClosure algorithm as the baseline it is compared against.
+package fca
+
+import (
+	"sort"
+	"strings"
+)
+
+// AttrSet is a set of attribute names.
+type AttrSet map[string]struct{}
+
+// NewAttrSet builds a set from the given attributes.
+func NewAttrSet(attrs ...string) AttrSet {
+	s := make(AttrSet, len(attrs))
+	for _, a := range attrs {
+		s[a] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts a.
+func (s AttrSet) Add(a string) { s[a] = struct{}{} }
+
+// Has reports membership.
+func (s AttrSet) Has(a string) bool { _, ok := s[a]; return ok }
+
+// Len reports cardinality.
+func (s AttrSet) Len() int { return len(s) }
+
+// Clone returns a copy.
+func (s AttrSet) Clone() AttrSet {
+	c := make(AttrSet, len(s))
+	for a := range s {
+		c[a] = struct{}{}
+	}
+	return c
+}
+
+// Intersect returns s ∩ o.
+func (s AttrSet) Intersect(o AttrSet) AttrSet {
+	small, big := s, o
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	out := make(AttrSet)
+	for a := range small {
+		if big.Has(a) {
+			out[a] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ o.
+func (s AttrSet) Union(o AttrSet) AttrSet {
+	out := s.Clone()
+	for a := range o {
+		out[a] = struct{}{}
+	}
+	return out
+}
+
+// SubsetOf reports s ⊆ o.
+func (s AttrSet) SubsetOf(o AttrSet) bool {
+	if len(s) > len(o) {
+		return false
+	}
+	for a := range s {
+		if !o.Has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s AttrSet) Equal(o AttrSet) bool {
+	return len(s) == len(o) && s.SubsetOf(o)
+}
+
+// Jaccard returns |s∩o| / |s∪o| — the similarity measure the JSM stage uses
+// (1 for two empty sets, by convention).
+func (s AttrSet) Jaccard(o AttrSet) float64 {
+	inter := 0
+	for a := range s {
+		if o.Has(a) {
+			inter++
+		}
+	}
+	union := len(s) + len(o) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Sorted returns the attributes in lexicographic order.
+func (s AttrSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Signature returns a canonical string key for the set.
+func (s AttrSet) Signature() string { return strings.Join(s.Sorted(), "\x00") }
+
+// String renders like "{a, b, c}".
+func (s AttrSet) String() string { return "{" + strings.Join(s.Sorted(), ", ") + "}" }

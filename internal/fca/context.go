@@ -1,0 +1,134 @@
+package fca
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Context is a formal context K = (G, M, I): objects G, attributes M, and
+// the incidence relation I stored as per-object attribute sets (§III-B,
+// Table IV).
+type Context struct {
+	objects []string           // insertion order
+	intents map[string]AttrSet // object -> attributes
+	attrs   AttrSet            // M, the attribute universe
+}
+
+// NewContext returns an empty formal context.
+func NewContext() *Context {
+	return &Context{intents: make(map[string]AttrSet), attrs: NewAttrSet()}
+}
+
+// AddObject inserts object g with the given attribute set. Re-adding an
+// object replaces its attributes.
+func (c *Context) AddObject(g string, intent AttrSet) {
+	if _, exists := c.intents[g]; !exists {
+		c.objects = append(c.objects, g)
+	}
+	c.intents[g] = intent.Clone()
+	for a := range intent {
+		c.attrs.Add(a)
+	}
+}
+
+// Objects returns the object names in insertion order.
+func (c *Context) Objects() []string {
+	out := make([]string, len(c.objects))
+	copy(out, c.objects)
+	return out
+}
+
+// Attributes returns M (a copy).
+func (c *Context) Attributes() AttrSet { return c.attrs.Clone() }
+
+// Intent returns object g's attribute set (the derivation {g}′), nil if g
+// is unknown.
+func (c *Context) Intent(g string) AttrSet {
+	in, ok := c.intents[g]
+	if !ok {
+		return nil
+	}
+	return in.Clone()
+}
+
+// Has reports the incidence relation I(g, m).
+func (c *Context) Has(g, m string) bool {
+	in, ok := c.intents[g]
+	return ok && in.Has(m)
+}
+
+// Extent computes B′ = {g ∈ G : B ⊆ g′} for an attribute set B.
+func (c *Context) Extent(b AttrSet) []string {
+	var out []string
+	for _, g := range c.objects {
+		if b.SubsetOf(c.intents[g]) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// CommonIntent computes A′ = ∩_{g∈A} g′ for an object list A; for an empty
+// A it returns M (the standard FCA convention).
+func (c *Context) CommonIntent(objs []string) AttrSet {
+	if len(objs) == 0 {
+		return c.attrs.Clone()
+	}
+	out := c.intents[objs[0]].Clone()
+	for _, g := range objs[1:] {
+		out = out.Intersect(c.intents[g])
+	}
+	return out
+}
+
+// Closure computes B″ = (B′)′, the smallest closed intent containing B.
+func (c *Context) Closure(b AttrSet) AttrSet {
+	return c.CommonIntent(c.Extent(b))
+}
+
+// CrossTable renders the context like Table IV: rows are objects, columns
+// attributes (sorted), cells "×".
+func (c *Context) CrossTable() string {
+	attrs := c.attrs.Sorted()
+	w := make([]int, len(attrs))
+	nameW := 0
+	for i, a := range attrs {
+		w[i] = len(a)
+	}
+	for _, g := range c.objects {
+		if len(g) > nameW {
+			nameW = len(g)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", nameW, "")
+	for i, a := range attrs {
+		fmt.Fprintf(&b, " | %-*s", w[i], a)
+	}
+	b.WriteByte('\n')
+	for _, g := range c.objects {
+		fmt.Fprintf(&b, "%-*s", nameW, g)
+		for i, a := range attrs {
+			mark := ""
+			if c.intents[g].Has(a) {
+				mark = "x"
+			}
+			fmt.Fprintf(&b, " | %-*s", w[i], mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Density returns |I| / (|G|·|M|), the context sparseness that drives
+// lattice-construction cost (§III-B cites Kuznetsov & Obiedkov).
+func (c *Context) Density() float64 {
+	if len(c.objects) == 0 || c.attrs.Len() == 0 {
+		return 0
+	}
+	n := 0
+	for _, g := range c.objects {
+		n += c.intents[g].Len()
+	}
+	return float64(n) / float64(len(c.objects)*c.attrs.Len())
+}

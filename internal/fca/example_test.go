@@ -1,0 +1,27 @@
+package fca_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/fca"
+)
+
+// Building Figure 3's lattice incrementally from the Table IV context:
+// even traces carry loop L0, odd traces loop L1.
+func ExampleLattice() {
+	l := fca.NewLattice()
+	common := []string{"MPI_Init", "MPI_Finalize"}
+	l.AddObject("T0", fca.NewAttrSet(append([]string{"L0"}, common...)...))
+	l.AddObject("T1", fca.NewAttrSet(append([]string{"L1"}, common...)...))
+	l.AddObject("T2", fca.NewAttrSet(append([]string{"L0"}, common...)...))
+	l.AddObject("T3", fca.NewAttrSet(append([]string{"L1"}, common...)...))
+
+	for _, c := range l.Concepts() {
+		fmt.Println(c)
+	}
+	// Output:
+	// ({T0, T1, T2, T3}, {MPI_Finalize, MPI_Init})
+	// ({T0, T2}, {L0, MPI_Finalize, MPI_Init})
+	// ({T1, T3}, {L1, MPI_Finalize, MPI_Init})
+	// ({}, {L0, L1, MPI_Finalize, MPI_Init})
+}

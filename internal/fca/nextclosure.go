@@ -1,0 +1,87 @@
+package fca
+
+// NextClosure implements Ganter's batch lattice-construction algorithm: it
+// enumerates every closed intent of the context in lectic order. The paper
+// (§III-B) notes it "requires the whole context to be present in main
+// memory and is, therefore, inefficient for long HPC traces"; it is kept
+// here as the baseline for the Godin-incremental ablation benchmark and as
+// an independent oracle for the incremental lattice in tests.
+func NextClosure(ctx *Context) []*Concept {
+	attrs := ctx.Attributes().Sorted() // fixed linear order a_0 < a_1 < ...
+	m := len(attrs)
+	index := make(map[string]int, m)
+	for i, a := range attrs {
+		index[a] = i
+	}
+
+	// Work on bitmask-like bool slices over the attribute order.
+	toSet := func(bits []bool) AttrSet {
+		s := NewAttrSet()
+		for i, b := range bits {
+			if b {
+				s.Add(attrs[i])
+			}
+		}
+		return s
+	}
+	closure := func(bits []bool) []bool {
+		closed := ctx.Closure(toSet(bits))
+		out := make([]bool, m)
+		for a := range closed {
+			out[index[a]] = true
+		}
+		return out
+	}
+
+	var concepts []*Concept
+	emit := func(bits []bool) {
+		in := toSet(bits)
+		concepts = append(concepts, &Concept{Extent: ctx.Extent(in), Intent: in})
+	}
+
+	// First closed set: ∅″.
+	a := closure(make([]bool, m))
+	emit(a)
+	if m == 0 {
+		return concepts
+	}
+	full := func(bits []bool) bool {
+		for _, b := range bits {
+			if !b {
+				return false
+			}
+		}
+		return true
+	}
+	for !full(a) {
+		advanced := false
+		for i := m - 1; i >= 0; i-- {
+			if a[i] {
+				continue
+			}
+			// Candidate: (a ∩ {0..i-1}) ∪ {i}, closed.
+			cand := make([]bool, m)
+			copy(cand, a[:i])
+			cand[i] = true
+			b := closure(cand)
+			// b is the lectic successor iff it adds no attribute < i.
+			ok := true
+			for j := 0; j < i; j++ {
+				if b[j] && !a[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				a = b
+				emit(a)
+				advanced = true
+				break
+			}
+		}
+		if !advanced { // defensive: cannot happen for a valid context
+			break
+		}
+	}
+	return concepts
+}

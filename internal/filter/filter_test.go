@@ -1,0 +1,258 @@
+package filter
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"difftrace/internal/trace"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec    string
+		custom  []string
+		returns bool
+		plt     bool
+		keep    []Category
+		image   int
+		k       int
+	}{
+		{"11.plt.mem.cust.0K10", []string{"CPU_Exec"}, true, true, []Category{Memory, Custom}, 0, 10},
+		{"01.mem.ompcrit.cust.0K10", []string{"CPU_Exec"}, false, true, []Category{Memory, OMPCritical, Custom}, 0, 10},
+		{"11.mpicol.cust.0K10", []string{"CPU_Exec"}, true, true, []Category{MPICollectives, Custom}, 0, 10},
+		{"11.mpi.cust.0K10", []string{"CPU_Exec"}, true, true, []Category{MPIAll, Custom}, 0, 10},
+		{"11.1K10", nil, true, true, nil, 1, 10},
+		{"01.1K50", nil, false, true, nil, 1, 50},
+		{"10.0K5", nil, true, false, nil, 0, 5},
+	}
+	for _, c := range cases {
+		f, err := ParseSpec(c.spec, c.custom...)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if f.DropReturns != c.returns || f.DropPLT != c.plt {
+			t.Errorf("%q: flags = %v,%v", c.spec, f.DropReturns, f.DropPLT)
+		}
+		if f.Image != c.image || f.K != c.k {
+			t.Errorf("%q: image,K = %d,%d", c.spec, f.Image, f.K)
+		}
+		sortedWant := append([]Category(nil), c.keep...)
+		sortedGot := append([]Category(nil), f.Keep...)
+		sortCats(sortedWant)
+		sortCats(sortedGot)
+		if !reflect.DeepEqual(sortedGot, sortedWant) && !(len(sortedGot) == 0 && len(sortedWant) == 0) {
+			t.Errorf("%q: keep = %v, want %v", c.spec, sortedGot, sortedWant)
+		}
+		// Re-parse the canonical rendering.
+		if _, err := ParseSpec(f.String(), c.custom...); err != nil {
+			t.Errorf("%q: canonical %q does not re-parse: %v", c.spec, f.String(), err)
+		}
+	}
+}
+
+func sortCats(cs []Category) {
+	for i := range cs {
+		for j := i + 1; j < len(cs); j++ {
+			if cs[j] < cs[i] {
+				cs[i], cs[j] = cs[j], cs[i]
+			}
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",              // empty
+		"11",            // missing K segment
+		"2x.0K10",       // non-binary flags
+		"111.0K10",      // three flag digits
+		"11.bogus.0K10", // unknown category
+		"11.mem.0Q10",   // missing K marker
+		"11.mem.5K10",   // image out of range
+		"11.mem.0K0",    // K < 1
+		"11.mem.0Kxx",   // non-numeric K
+		"11.cust.0K10",  // cust without patterns
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", s)
+		}
+	}
+	if _, err := ParseSpec("11.cust.0K10", "("); err == nil {
+		t.Error("bad custom regexp accepted")
+	}
+}
+
+func mkTrace(reg *trace.Registry, names ...string) *trace.Trace {
+	tr := &trace.Trace{ID: trace.TID(0, 0)}
+	for _, n := range names {
+		tr.Append(reg.ID(n), trace.Enter)
+		tr.Append(reg.ID(n), trace.Exit)
+	}
+	return tr
+}
+
+func names(tr *trace.Trace, reg *trace.Registry) []string { return tr.Names(reg) }
+
+func TestDropReturns(t *testing.T) {
+	reg := trace.NewRegistry()
+	tr := mkTrace(reg, "main", "MPI_Init")
+	f := &Filter{DropReturns: true}
+	got := f.Apply(tr, reg)
+	if got.Len() != 2 {
+		t.Fatalf("events = %d, want 2", got.Len())
+	}
+	for _, e := range got.Events {
+		if e.Kind != trace.Enter {
+			t.Error("exit survived DropReturns")
+		}
+	}
+}
+
+func TestDropPLT(t *testing.T) {
+	reg := trace.NewRegistry()
+	tr := mkTrace(reg, "main", ".plt", "memcpy@plt", "memcpy")
+	f := &Filter{DropReturns: true, DropPLT: true}
+	got := names(f.Apply(tr, reg), reg)
+	if !reflect.DeepEqual(got, []string{"main", "memcpy"}) {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestCategoryMatching(t *testing.T) {
+	cases := []struct {
+		cat Category
+		in  []string
+		out []string
+	}{
+		{MPIAll,
+			[]string{"MPI_Init", "MPI_Send", "work", "GOMP_critical_start"},
+			[]string{"MPI_Init", "MPI_Send"}},
+		{MPICollectives,
+			[]string{"MPI_Barrier", "MPI_Allreduce", "MPI_Send", "MPI_Bcast"},
+			[]string{"MPI_Barrier", "MPI_Allreduce", "MPI_Bcast"}},
+		{MPISendRecv,
+			[]string{"MPI_Send", "MPI_Isend", "MPI_Recv", "MPI_Irecv", "MPI_Wait", "MPI_Barrier"},
+			[]string{"MPI_Send", "MPI_Isend", "MPI_Recv", "MPI_Irecv", "MPI_Wait"}},
+		{MPIInternal,
+			[]string{"MPID_Send", "MPIR_Reduce", "MPI_Send"},
+			[]string{"MPID_Send", "MPIR_Reduce"}},
+		{OMPAll,
+			[]string{"GOMP_parallel", "omp_get_thread_num", "main"},
+			[]string{"GOMP_parallel", "omp_get_thread_num"}},
+		{OMPCritical,
+			[]string{"GOMP_critical_start", "GOMP_critical_end", "GOMP_parallel"},
+			[]string{"GOMP_critical_start", "GOMP_critical_end"}},
+		{OMPMutex,
+			[]string{"omp_set_lock", "pthread_mutex_lock", "omp_get_num_threads"},
+			[]string{"omp_set_lock", "pthread_mutex_lock"}},
+		{Memory,
+			[]string{"memcpy", "malloc", "free", "calloc", "strcpy"},
+			[]string{"memcpy", "malloc", "free", "calloc"}},
+		{Network,
+			[]string{"tcp_send", "socket_open", "memcpy"},
+			[]string{"tcp_send", "socket_open"}},
+		{Poll,
+			[]string{"poll_wait", "sched_yield", "main"},
+			[]string{"poll_wait", "sched_yield"}},
+		{Strings,
+			[]string{"strlen", "strcpy", "memcpy"},
+			[]string{"strlen", "strcpy"}},
+	}
+	for _, c := range cases {
+		reg := trace.NewRegistry()
+		tr := mkTrace(reg, c.in...)
+		f := &Filter{DropReturns: true, Keep: []Category{c.cat}}
+		got := names(f.Apply(tr, reg), reg)
+		if !reflect.DeepEqual(got, c.out) {
+			t.Errorf("%v: got %v, want %v", c.cat, got, c.out)
+		}
+	}
+}
+
+func TestUnionOfCategories(t *testing.T) {
+	reg := trace.NewRegistry()
+	tr := mkTrace(reg, "MPI_Send", "memcpy", "CPU_Exec", "other")
+	f, err := ParseSpec("11.mpi.mem.cust.0K10", "^CPU_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(f.Apply(tr, reg), reg)
+	if !reflect.DeepEqual(got, []string{"MPI_Send", "memcpy", "CPU_Exec"}) {
+		t.Errorf("union keep = %v", got)
+	}
+}
+
+func TestEverythingKeepsAll(t *testing.T) {
+	reg := trace.NewRegistry()
+	tr := mkTrace(reg, "main", ".plt")
+	got := Everything().Apply(tr, reg)
+	if got.Len() != tr.Len() {
+		t.Errorf("Everything dropped events: %d != %d", got.Len(), tr.Len())
+	}
+}
+
+func TestApplyPreservesMetadata(t *testing.T) {
+	reg := trace.NewRegistry()
+	tr := mkTrace(reg, "MPI_Send")
+	tr.ID = trace.TID(6, 4)
+	tr.Truncated = true
+	got := New(MPIAll).Apply(tr, reg)
+	if got.ID != tr.ID || !got.Truncated {
+		t.Error("Apply lost ID or truncation flag")
+	}
+	if tr.Len() != 2 {
+		t.Error("Apply mutated the input trace")
+	}
+}
+
+func TestApplySetFiltersEveryTrace(t *testing.T) {
+	s := trace.NewTraceSet()
+	for p := 0; p < 3; p++ {
+		tr := s.Get(trace.TID(p, 0))
+		tr.Append(s.Registry.ID("MPI_Init"), trace.Enter)
+		tr.Append(s.Registry.ID("helper"), trace.Enter)
+	}
+	out := New(MPIAll).ApplySet(s)
+	if len(out.Traces) != 3 {
+		t.Fatalf("traces = %d", len(out.Traces))
+	}
+	for id, tr := range out.Traces {
+		if tr.Len() != 1 {
+			t.Errorf("trace %v: %d events", id, tr.Len())
+		}
+	}
+	if out.Registry != s.Registry {
+		t.Error("ApplySet must share the registry")
+	}
+}
+
+// Property: filtering is idempotent — applying the same filter twice gives
+// the same result as once.
+func TestQuickFilterIdempotent(t *testing.T) {
+	pool := []string{"MPI_Send", "MPI_Recv", "memcpy", ".plt", "main", "GOMP_critical_start", "strlen", "CPU_Exec"}
+	f := func(picks []uint8, dropRet, dropPLT bool, catIdx uint8) bool {
+		reg := trace.NewRegistry()
+		tr := &trace.Trace{ID: trace.TID(0, 0)}
+		for _, p := range picks {
+			name := pool[int(p)%len(pool)]
+			tr.Append(reg.ID(name), trace.Enter)
+			if p%2 == 0 {
+				tr.Append(reg.ID(name), trace.Exit)
+			}
+		}
+		flt := &Filter{
+			DropReturns: dropRet,
+			DropPLT:     dropPLT,
+			Keep:        []Category{Category(int(catIdx) % int(numCategories-1))},
+		}
+		once := flt.Apply(tr, reg)
+		twice := flt.Apply(once, reg)
+		return reflect.DeepEqual(once.Events, twice.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,20 @@
+package filter
+
+import "testing"
+
+// FuzzParseSpec: arbitrary spec strings never panic, and any spec that
+// parses re-parses from its canonical rendering.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("11.plt.mem.cust.0K10")
+	f.Add("01.1K50")
+	f.Add("..")
+	f.Fuzz(func(t *testing.T, spec string) {
+		flt, err := ParseSpec(spec, "^CPU_")
+		if err != nil {
+			return
+		}
+		if _, err := ParseSpec(flt.String(), "^CPU_"); err != nil {
+			t.Fatalf("canonical %q of %q does not re-parse: %v", flt.String(), spec, err)
+		}
+	})
+}

@@ -1,0 +1,30 @@
+package jaccard_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/fca"
+	"difftrace/internal/jaccard"
+)
+
+// JSM_D isolates the trace whose attribute set the fault changed.
+func ExampleDiff() {
+	normal := map[string]fca.AttrSet{
+		"T0": fca.NewAttrSet("init", "loop", "fin"),
+		"T1": fca.NewAttrSet("init", "loop", "fin"),
+	}
+	faulty := map[string]fca.AttrSet{
+		"T0": fca.NewAttrSet("init", "loop", "fin"),
+		"T1": fca.NewAttrSet("init", "loop"), // truncated: no fin
+	}
+	d, err := jaccard.Diff(jaccard.New(faulty), jaccard.New(normal))
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range d.Suspects() {
+		fmt.Printf("%s %.3f\n", s.Name, s.Score)
+	}
+	// Output:
+	// T0 0.333
+	// T1 0.333
+}

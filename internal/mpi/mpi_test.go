@@ -1,0 +1,635 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func TestOpApplyAndString(t *testing.T) {
+	if MIN.apply(2, 3) != 2 || MAX.apply(2, 3) != 3 || SUM.apply(2, 3) != 5 {
+		t.Error("op apply wrong")
+	}
+	if MIN.String() != "MPI_MIN" || MAX.String() != "MPI_MAX" || SUM.String() != "MPI_SUM" {
+		t.Error("op names wrong")
+	}
+}
+
+func TestEagerSendDoesNotBlock(t *testing.T) {
+	// Rank 0 sends eagerly then receives; rank 1 mirrors. Send||Send head
+	// to head completes because payloads are within the eager limit — the
+	// §II-B swapBug scenario that does NOT deadlock.
+	err := Run(2, 16, nil, func(r *Rank) error {
+		peer := 1 - r.rank
+		if err := r.Send(peer, 0, []float64{float64(r.rank)}); err != nil {
+			return err
+		}
+		got, err := r.Recv(peer, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(peer) {
+			t.Errorf("rank %d got %v", r.rank, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRendezvousSendSendDeadlocks(t *testing.T) {
+	// Same head-to-head pattern but beyond the eager limit: a real
+	// deadlock, caught by the detector.
+	big := make([]float64, 64)
+	err := Run(2, 16, nil, func(r *Rank) error {
+		peer := 1 - r.rank
+		if err := r.Send(peer, 0, big); err != nil {
+			return err
+		}
+		_, err := r.Recv(peer, 0)
+		return err
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestRendezvousCompletesWithMatchingRecv(t *testing.T) {
+	big := make([]float64, 64)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	err := Run(2, 16, nil, func(r *Rank) error {
+		if r.rank == 0 {
+			return r.Send(1, 7, big)
+		}
+		got, err := r.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(got, big) {
+			t.Errorf("payload corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	err := Run(2, 100, nil, func(r *Rank) error {
+		if r.rank == 0 {
+			if err := r.Send(1, 5, []float64{5}); err != nil {
+				return err
+			}
+			return r.Send(1, 3, []float64{3})
+		}
+		// Receive tag 3 first even though tag 5 was sent first.
+		got3, err := r.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		got5, err := r.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if got3[0] != 3 || got5[0] != 5 {
+			t.Errorf("tag matching broken: %v %v", got3, got5)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	err := Run(1, 10, nil, func(r *Rank) error {
+		return r.Send(5, 0, nil)
+	})
+	if err == nil {
+		t.Error("send to invalid rank accepted")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	order := make(chan int, 8)
+	err := Run(4, 10, nil, func(r *Rank) error {
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		order <- r.rank
+		return r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Errorf("only %d ranks passed the barrier", len(order))
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	results := make([][]float64, 4)
+	err := Run(4, 10, nil, func(r *Rank) error {
+		res, err := r.Allreduce([]float64{float64(r.rank), float64(-r.rank)}, SUM)
+		if err != nil {
+			return err
+		}
+		results[r.rank] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, res := range results {
+		if !reflect.DeepEqual(res, []float64{6, -6}) {
+			t.Errorf("rank %d allreduce = %v", rank, res)
+		}
+	}
+}
+
+func TestAllreduceMinMax(t *testing.T) {
+	err := Run(3, 10, nil, func(r *Rank) error {
+		mn, err := r.Allreduce([]float64{float64(r.rank + 1)}, MIN)
+		if err != nil {
+			return err
+		}
+		mx, err := r.Allreduce([]float64{float64(r.rank + 1)}, MAX)
+		if err != nil {
+			return err
+		}
+		if mn[0] != 1 || mx[0] != 3 {
+			t.Errorf("min/max = %v %v", mn, mx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSizeMismatchDeadlocks(t *testing.T) {
+	// Table VII's bug: one rank passes the wrong size.
+	err := Run(4, 10, nil, func(r *Rank) error {
+		size := 4
+		if r.rank == 2 {
+			size = 7
+		}
+		_, err := r.Allreduce(make([]float64, size), MIN)
+		return err
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(4, 10, nil, func(r *Rank) error {
+		data := []float64{0}
+		if r.rank == 2 {
+			data = []float64{42}
+		}
+		got, err := r.Bcast(2, data)
+		if err != nil {
+			return err
+		}
+		if got[0] != 42 {
+			t.Errorf("rank %d bcast got %v", r.rank, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	err := Run(4, 10, nil, func(r *Rank) error {
+		got, err := r.Reduce(0, []float64{float64(r.rank)}, SUM)
+		if err != nil {
+			return err
+		}
+		if r.rank == 0 {
+			if got[0] != 6 {
+				t.Errorf("root reduce = %v", got)
+			}
+		} else if got != nil {
+			t.Errorf("non-root got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesMatchInProgramOrder(t *testing.T) {
+	// Two consecutive Allreduces must not interfere.
+	err := Run(3, 10, nil, func(r *Rank) error {
+		a, err := r.Allreduce([]float64{1}, SUM)
+		if err != nil {
+			return err
+		}
+		b, err := r.Allreduce([]float64{2}, SUM)
+		if err != nil {
+			return err
+		}
+		if a[0] != 3 || b[0] != 6 {
+			t.Errorf("sequenced allreduce = %v %v", a, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHangTriggersDetector(t *testing.T) {
+	err := Run(3, 10, nil, func(r *Rank) error {
+		if r.rank == 1 {
+			return r.Hang("MPI_Recv")
+		}
+		return r.Finalize()
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFinalizeWaitsForAll(t *testing.T) {
+	err := Run(4, 10, nil, func(r *Rank) error {
+		if r.rank == 0 {
+			// Send before finalize so others can proceed.
+			if err := r.Send(1, 0, []float64{1}); err != nil {
+				return err
+			}
+		}
+		if r.rank == 1 {
+			if _, err := r.Recv(0, 0); err != nil {
+				return err
+			}
+		}
+		return r.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinishedRankStrandingOthersAborts(t *testing.T) {
+	// Rank 0 exits without sending; rank 1 waits forever.
+	err := Run(2, 10, nil, func(r *Rank) error {
+		if r.rank == 0 {
+			return nil
+		}
+		_, err := r.Recv(0, 9)
+		return err
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTracingRecordsMPINames(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	err := Run(2, 100, tr, func(r *Rank) error {
+		r.Init()
+		r.Rank()
+		r.Size()
+		if r.rank == 0 {
+			if err := r.Send(1, 0, []float64{1}); err != nil {
+				return err
+			}
+		} else {
+			if _, err := r.Recv(0, 0); err != nil {
+				return err
+			}
+		}
+		return r.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := tr.Collect()
+	names := set.Traces[trace.TID(0, 0)].Names(set.Registry)
+	want := []string{"MPI_Init", "MPI_Comm_rank", "MPI_Comm_size", "MPI_Send", "MPI_Finalize"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("rank 0 calls = %v", names)
+	}
+	if set.Traces[trace.TID(0, 0)].Truncated {
+		t.Error("clean run marked truncated")
+	}
+}
+
+func TestDeadlockTruncatesTrace(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	err := Run(2, 10, tr, func(r *Rank) error {
+		r.Init()
+		if r.rank == 0 {
+			_, err := r.Recv(1, 0) // never sent
+			return err
+		}
+		_, err := r.Recv(0, 0) // never sent
+		return err
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatal(err)
+	}
+	set := tr.Collect()
+	for id, tc := range set.Traces {
+		if !tc.Truncated {
+			t.Errorf("trace %v not truncated", id)
+		}
+		names := tc.Names(set.Registry)
+		if names[len(names)-1] != "MPI_Recv" {
+			t.Errorf("trace %v should end in the blocked call: %v", id, names)
+		}
+		// The blocked call has an Enter but no Exit.
+		last := tc.Events[len(tc.Events)-1]
+		if last.Kind != trace.Enter {
+			t.Errorf("trace %v last event should be an enter", id)
+		}
+	}
+}
+
+func TestOddEvenSortSmoke(t *testing.T) {
+	// A miniature odd/even exchange with value payloads: verifies the
+	// runtime actually sorts.
+	n := 4
+	vals := []float64{9, 3, 7, 1}
+	out := make([]float64, n)
+	err := Run(n, 100, nil, func(r *Rank) error {
+		r.Init()
+		mine := vals[r.rank]
+		for phase := 0; phase < n; phase++ {
+			var ptr int
+			if phase%2 == 0 {
+				if r.rank%2 == 0 {
+					ptr = r.rank + 1
+				} else {
+					ptr = r.rank - 1
+				}
+			} else {
+				if r.rank%2 == 1 {
+					ptr = r.rank + 1
+				} else {
+					ptr = r.rank - 1
+				}
+			}
+			if ptr < 0 || ptr >= n {
+				continue
+			}
+			var other float64
+			if r.rank < ptr {
+				if err := r.Send(ptr, phase, []float64{mine}); err != nil {
+					return err
+				}
+				got, err := r.Recv(ptr, phase)
+				if err != nil {
+					return err
+				}
+				other = got[0]
+				mine = math.Min(mine, other)
+			} else {
+				got, err := r.Recv(ptr, phase)
+				if err != nil {
+					return err
+				}
+				other = got[0]
+				if err := r.Send(ptr, phase, []float64{mine}); err != nil {
+					return err
+				}
+				mine = math.Max(mine, other)
+			}
+		}
+		out[r.rank] = mine
+		return r.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []float64{1, 3, 7, 9}) {
+		t.Errorf("sorted = %v", out)
+	}
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	err := Run(2, 4, nil, func(r *Rank) error {
+		peer := 1 - r.rank
+		// Post the receive early (the LULESH posting pattern), then send.
+		rreq, err := r.Irecv(peer, 0)
+		if err != nil {
+			return err
+		}
+		sreq, err := r.Isend(peer, 0, []float64{float64(r.rank)})
+		if err != nil {
+			return err
+		}
+		got, err := r.Wait(rreq)
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(peer) {
+			t.Errorf("rank %d got %v", r.rank, got)
+		}
+		if _, err := r.Wait(sreq); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendRendezvousWaitBlocksUntilConsumed(t *testing.T) {
+	big := make([]float64, 64)
+	err := Run(2, 4, nil, func(r *Rank) error {
+		if r.rank == 0 {
+			req, err := r.Isend(1, 0, big) // beyond eager: Wait must block
+			if err != nil {
+				return err
+			}
+			_, err = r.Wait(req)
+			return err
+		}
+		_, err := r.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendHeadToHeadDoesNotDeadlock(t *testing.T) {
+	// Unlike blocking rendezvous Send||Send, Isend||Isend + Wait completes:
+	// the posting is decoupled from completion.
+	big := make([]float64, 64)
+	err := Run(2, 4, nil, func(r *Rank) error {
+		peer := 1 - r.rank
+		sreq, err := r.Isend(peer, 0, big)
+		if err != nil {
+			return err
+		}
+		if _, err := r.Recv(peer, 0); err != nil {
+			return err
+		}
+		_, err = r.Wait(sreq)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitMisuse(t *testing.T) {
+	err := Run(2, 4, nil, func(r *Rank) error {
+		if r.rank == 1 {
+			_, err := r.Recv(0, 0)
+			return err
+		}
+		req, err := r.Isend(1, 0, []float64{1})
+		if err != nil {
+			return err
+		}
+		if _, err := r.Wait(req); err != nil {
+			return err
+		}
+		if _, err := r.Wait(req); err == nil {
+			t.Error("double wait accepted")
+		}
+		if _, err := r.Wait(nil); err == nil {
+			t.Error("nil request accepted")
+		}
+		if _, err := r.Irecv(99, 0); err == nil {
+			t.Error("irecv from invalid rank accepted")
+		}
+		if _, err := r.Isend(99, 0, nil); err == nil {
+			t.Error("isend to invalid rank accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingTraceNames(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	err := Run(2, 4, tr, func(r *Rank) error {
+		peer := 1 - r.rank
+		rreq, err := r.Irecv(peer, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := r.Isend(peer, 0, []float64{1}); err != nil {
+			return err
+		}
+		_, err = r.Wait(rreq)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := tr.Collect()
+	names := set.Traces[trace.TID(0, 0)].Names(set.Registry)
+	want := []string{"MPI_Irecv", "MPI_Isend", "MPI_Wait"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("calls = %v", names)
+	}
+}
+
+func TestDeadlockWitness(t *testing.T) {
+	w := NewWorld(2, 4)
+	err := w.Run(nil, func(r *Rank) error {
+		if r.rank == 0 {
+			_, err := r.Recv(1, 7) // never sent
+			return err
+		}
+		return r.Barrier() // rank 0 never arrives
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatal(err)
+	}
+	witness := w.DeadlockWitness()
+	if len(witness) != 2 {
+		t.Fatalf("witness = %v", witness)
+	}
+	joined := strings.Join(witness, "; ")
+	if !strings.Contains(joined, "rank 0 blocked in MPI_Recv(src=1 tag=7)") {
+		t.Errorf("witness missing recv: %v", witness)
+	}
+	if !strings.Contains(joined, "rank 1 blocked in MPI_Barrier") {
+		t.Errorf("witness missing barrier: %v", witness)
+	}
+}
+
+func TestNoWitnessOnCleanRun(t *testing.T) {
+	w := NewWorld(2, 4)
+	err := w.Run(nil, func(r *Rank) error { return r.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.DeadlockWitness(); len(got) != 0 {
+		t.Errorf("clean run has witness %v", got)
+	}
+}
+
+// Property: randomly generated MATCHED communication schedules always
+// complete, and schedules with one receive left unmatched always trip the
+// deadlock detector — the runtime can neither hang silently nor abort
+// spuriously.
+func TestQuickSchedules(t *testing.T) {
+	type msg struct{ from, to int }
+	run := func(seed int64, unmatched bool) error {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3) + 2
+		var script []msg
+		for i := 0; i < rng.Intn(10)+1; i++ {
+			from := rng.Intn(n)
+			to := rng.Intn(n)
+			if to == from {
+				to = (to + 1) % n
+			}
+			script = append(script, msg{from, to})
+		}
+		return Run(n, 1024, nil, func(r *Rank) error {
+			for tag, m := range script {
+				if r.rank == m.from {
+					if err := r.Send(m.to, tag, []float64{1}); err != nil {
+						return err
+					}
+				}
+				if r.rank == m.to {
+					if _, err := r.Recv(m.from, tag); err != nil {
+						return err
+					}
+				}
+			}
+			if unmatched && r.rank == 0 {
+				_, err := r.Recv(n-1, 9999) // nobody sends this
+				return err
+			}
+			return r.Finalize()
+		})
+	}
+	f := func(seed int64) bool {
+		if err := run(seed, false); err != nil {
+			return false
+		}
+		return errors.Is(run(seed, true), ErrDeadlock)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,25 @@
+package nlr_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/nlr"
+)
+
+// Summarizing the odd/even sort's MPI calls produces Table III's compact
+// NLR form: the Send/Recv exchange folds into a loop token.
+func ExampleSummarize() {
+	trace := []string{"MPI_Init"}
+	for i := 0; i < 4; i++ {
+		trace = append(trace, "MPI_Send", "MPI_Recv")
+	}
+	trace = append(trace, "MPI_Finalize")
+
+	table := nlr.NewTable()
+	elems := nlr.Summarize(trace, 10, table)
+	fmt.Println(nlr.Tokens(elems))
+	fmt.Println("L0 =", table.Describe(0))
+	// Output:
+	// [MPI_Init L0^4 MPI_Finalize]
+	// L0 = [MPI_Send MPI_Recv]
+}

@@ -1,0 +1,365 @@
+// Package nlr implements DiffTrace's Nested Loop Recognition (§III-A),
+// adapted from Ketterlin & Clauss' trace-compression algorithm and Kobayashi
+// & MacDougall's bottom-up loop-nest construction.
+//
+// The summarizer pushes trace entries (function names, or IDs of already
+// detected loops) onto a stack of elements and, after every push, runs the
+// paper's Reduce procedure (Procedure 1):
+//
+//   - if the top 3 b-long element groups are pairwise isomorphic for some
+//     b ≤ K, they are folded into a loop element with body b and count 3;
+//   - if the element at depth i is a loop whose body is isomorphic to the
+//     top i-1 elements, the loop absorbs them and its count increments.
+//
+// Every distinct loop body is interned in a Table and given a unique ID
+// (L0, L1, ...), shared across all traces of an execution so that the same
+// loop detected in different traces (or in the normal and faulty runs) gets
+// the same name — the property Tables III/IV and the FCA stage rely on.
+//
+// Complexity is Θ(K²·N) for a trace of N entries, as stated in the paper.
+package nlr
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"difftrace/internal/trace"
+)
+
+// DefaultK is the window constant used throughout the paper's experiments
+// ("we set the NLR constant K to 10 for all experiments").
+const DefaultK = 10
+
+// Element is one entry of the NLR stack / summarized sequence: either a
+// plain symbol (function name or loop-ID token) or a detected loop.
+type Element struct {
+	Sym  string // valid when Loop == nil
+	Loop *Loop
+}
+
+// Loop is a recognized repetition: Body repeated Count times. ID is the
+// table-assigned identity of Body (counts are not part of the identity:
+// "L0^2" and "L0^4" are the same loop body looping differently, exactly as
+// in Table III).
+type Loop struct {
+	Body  []Element
+	Count int
+	ID    int
+}
+
+// Token renders an element the way the paper prints NLR sequences:
+// a bare function name, or "L<id>^<count>".
+func (e Element) Token() string {
+	if e.Loop == nil {
+		return e.Sym
+	}
+	return fmt.Sprintf("L%d^%d", e.Loop.ID, e.Loop.Count)
+}
+
+// iso reports structural isomorphism between two elements. Loops are
+// isomorphic when they repeat the same interned body the same number of
+// times; the Table guarantees body equality ⇔ ID equality.
+func iso(a, b Element) bool {
+	if (a.Loop == nil) != (b.Loop == nil) {
+		return false
+	}
+	if a.Loop == nil {
+		return a.Sym == b.Sym
+	}
+	return a.Loop.ID == b.Loop.ID && a.Loop.Count == b.Loop.Count
+}
+
+func isoSlice(a, b []Element) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !iso(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Table interns loop bodies and assigns stable IDs in discovery order.
+// One Table is shared by every trace of an execution pair (normal+faulty),
+// mirroring the paper's global hash table of distinct loop bodies.
+// It is safe for concurrent use.
+type Table struct {
+	mu     sync.Mutex
+	ids    map[string]int
+	bodies [][]Element
+}
+
+// NewTable returns an empty loop table.
+func NewTable() *Table { return &Table{ids: make(map[string]int)} }
+
+// bodySig canonically renders a body. Nested loops already carry IDs
+// (loops are interned bottom-up), so the signature is just the token join.
+func bodySig(body []Element) string {
+	toks := make([]string, len(body))
+	for i, e := range body {
+		toks[i] = e.Token()
+	}
+	return strings.Join(toks, "\x00")
+}
+
+// Intern returns the ID for body, assigning the next free ID on first sight.
+func (t *Table) Intern(body []Element) int {
+	sig := bodySig(body)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[sig]; ok {
+		return id
+	}
+	id := len(t.bodies)
+	t.ids[sig] = id
+	cp := make([]Element, len(body))
+	copy(cp, body)
+	t.bodies = append(t.bodies, cp)
+	return id
+}
+
+// Has reports whether body is already interned, without interning it.
+// The Reduce procedure uses this as the paper's hash-table heuristic:
+// a body already discovered elsewhere folds after only two repetitions
+// (Table III's T0/T3 loop just twice yet are summarized as L^2).
+func (t *Table) Has(body []Element) bool {
+	sig := bodySig(body)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.ids[sig]
+	return ok
+}
+
+// Len reports the number of distinct loop bodies interned.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.bodies)
+}
+
+// Body returns (a copy of) the body for id; nil if unknown.
+func (t *Table) Body(id int) []Element {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= len(t.bodies) {
+		return nil
+	}
+	out := make([]Element, len(t.bodies[id]))
+	copy(out, t.bodies[id])
+	return out
+}
+
+// Describe renders the loop body for id like "[MPI_Send MPI_Recv]",
+// the notation §II-D uses to explain L0 and L1.
+func (t *Table) Describe(id int) string {
+	body := t.Body(id)
+	if body == nil {
+		return fmt.Sprintf("L%d=?", id)
+	}
+	toks := make([]string, len(body))
+	for i, e := range body {
+		toks[i] = e.Token()
+	}
+	return "[" + strings.Join(toks, " ") + "]"
+}
+
+// Summarizer runs the online Reduce procedure over one token stream.
+type Summarizer struct {
+	K     int
+	Table *Table
+	stack []Element
+}
+
+// NewSummarizer returns a Summarizer with window constant k (DefaultK if
+// k <= 0) interning loop bodies into table (a fresh one if nil).
+func NewSummarizer(k int, table *Table) *Summarizer {
+	if k <= 0 {
+		k = DefaultK
+	}
+	if table == nil {
+		table = NewTable()
+	}
+	return &Summarizer{K: k, Table: table}
+}
+
+// Push feeds the next trace entry and reduces.
+func (s *Summarizer) Push(sym string) {
+	s.push(Element{Sym: sym}, false)
+}
+
+func (s *Summarizer) push(e Element, allowKnownFold bool) {
+	s.stack = append(s.stack, e)
+	s.reduce(allowKnownFold)
+}
+
+// reduce is Procedure 1, iterated to fixpoint. For i = 1..3K with b = i/3
+// it checks (a) the top three b-long groups folding into a new loop and
+// (b) a loop at depth i extending over the top i-1 elements. When
+// allowKnownFold is set (finalization only — see Finalize), an additional
+// rule folds two adjacent repetitions of a body already in the loop table.
+func (s *Summarizer) reduce(allowKnownFold bool) {
+	for {
+		if !s.reduceOnce(allowKnownFold) {
+			return
+		}
+	}
+}
+
+func (s *Summarizer) reduceOnce(allowKnownFold bool) bool {
+	n := len(s.stack)
+	for i := 1; i <= 3*s.K; i++ {
+		b := i / 3
+		// Rule 1: fold — top 3 groups of b elements each are isomorphic.
+		if b >= 1 && i == 3*b && n >= 3*b {
+			g2 := s.stack[n-b:]
+			g1 := s.stack[n-2*b : n-b]
+			g0 := s.stack[n-3*b : n-2*b]
+			if isoSlice(g0, g1) && isoSlice(g1, g2) {
+				body := make([]Element, b)
+				copy(body, g2)
+				id := s.Table.Intern(body)
+				s.stack = s.stack[:n-3*b]
+				s.stack = append(s.stack, Element{Loop: &Loop{Body: body, Count: 3, ID: id}})
+				return true
+			}
+		}
+		// Rule 1b: known-body fold — the top 2 groups of b2 elements are
+		// isomorphic and the body is already in the loop table (§III-A's
+		// cross-trace heuristic): fold with count 2. Restricted to the
+		// finalization pass: firing online would mis-parse phase-shifted
+		// loops ((S R)^4 would fold as S (R S)^3 R if [R S] is known).
+		if b2 := i / 2; allowKnownFold && b2 >= 1 && i == 2*b2 && b2 <= s.K && n >= 2*b2 {
+			g1 := s.stack[n-b2:]
+			g0 := s.stack[n-2*b2 : n-b2]
+			if isoSlice(g0, g1) && s.Table.Has(g1) {
+				body := make([]Element, b2)
+				copy(body, g1)
+				id := s.Table.Intern(body)
+				s.stack = s.stack[:n-2*b2]
+				s.stack = append(s.stack, Element{Loop: &Loop{Body: body, Count: 2, ID: id}})
+				return true
+			}
+		}
+		// Rule 2: extend — S[i] is a loop whose body matches the top i-1
+		// elements (body length i-1).
+		if i >= 2 && n >= i {
+			el := &s.stack[n-i]
+			if el.Loop != nil && len(el.Loop.Body) == i-1 && isoSlice(el.Loop.Body, s.stack[n-i+1:]) {
+				el.Loop = &Loop{Body: el.Loop.Body, Count: el.Loop.Count + 1, ID: el.Loop.ID}
+				s.stack = s.stack[:n-i+1]
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Finalize runs the end-of-trace cleanup: the summarized sequence is
+// re-reduced with the known-body heuristic enabled, folding two-repetition
+// occurrences of loop bodies discovered elsewhere (or earlier in this
+// trace). Called once after the last Push; Summarize does it automatically.
+func (s *Summarizer) Finalize() {
+	old := s.stack
+	s.stack = make([]Element, 0, len(old))
+	for _, e := range old {
+		s.push(e, true)
+	}
+}
+
+// Elements returns the current summarized sequence (a copy).
+func (s *Summarizer) Elements() []Element {
+	out := make([]Element, len(s.stack))
+	copy(out, s.stack)
+	return out
+}
+
+// Tokens renders the current sequence as NLR tokens (Table III style).
+func (s *Summarizer) Tokens() []string { return Tokens(s.stack) }
+
+// Tokens renders a summarized element sequence as tokens.
+func Tokens(elems []Element) []string {
+	out := make([]string, len(elems))
+	for i, e := range elems {
+		out[i] = e.Token()
+	}
+	return out
+}
+
+// Expand undoes the summarization, reproducing the original token stream —
+// NLR is a lossless abstraction (§II-A: "serves as a lossless abstraction").
+func Expand(elems []Element) []string {
+	var out []string
+	var rec func(es []Element)
+	rec = func(es []Element) {
+		for _, e := range es {
+			if e.Loop == nil {
+				out = append(out, e.Sym)
+				continue
+			}
+			for i := 0; i < e.Loop.Count; i++ {
+				rec(e.Loop.Body)
+			}
+		}
+	}
+	rec(elems)
+	return out
+}
+
+// Summarize runs the full pass over tokens (including finalization) and
+// returns the element sequence.
+func Summarize(tokens []string, k int, table *Table) []Element {
+	s := NewSummarizer(k, table)
+	for _, t := range tokens {
+		s.Push(t)
+	}
+	s.Finalize()
+	return s.Elements()
+}
+
+// SummarizeTrace summarizes the *call* events of tr (returns are assumed to
+// be filtered already; any remaining exits are rendered as "ret:<name>"
+// tokens so the abstraction stays lossless).
+func SummarizeTrace(tr *trace.Trace, reg *trace.Registry, k int, table *Table) []Element {
+	s := NewSummarizer(k, table)
+	for _, e := range tr.Events {
+		name := reg.Name(e.Func)
+		if e.Kind == trace.Exit {
+			name = "ret:" + name
+		}
+		s.Push(name)
+	}
+	s.Finalize()
+	return s.Elements()
+}
+
+// SummarizeSet summarizes every trace of set in deterministic ID order with
+// two passes: the first pass populates the shared loop table, the second
+// re-summarizes each trace so that loops discovered late (in another trace)
+// still fold in traces processed earlier — this is what lets Table III
+// summarize T0's two iterations as L^2 after T2 revealed the body.
+// Exits surviving the filter are rendered as "ret:<name>" tokens.
+func SummarizeSet(set *trace.TraceSet, k int, table *Table) map[trace.ThreadID][]Element {
+	if table == nil {
+		table = NewTable()
+	}
+	for _, id := range set.IDs() {
+		SummarizeTrace(set.Traces[id], set.Registry, k, table)
+	}
+	out := make(map[trace.ThreadID][]Element, len(set.Traces))
+	for _, id := range set.IDs() {
+		out[id] = SummarizeTrace(set.Traces[id], set.Registry, k, table)
+	}
+	return out
+}
+
+// Reduction reports the size reduction factor |input| / |summarized| for a
+// token stream (the §V statistic: ×1.92 at K=10, ×16.74 at K=50 on LULESH).
+func Reduction(inputLen int, elems []Element) float64 {
+	if len(elems) == 0 {
+		return 1
+	}
+	return float64(inputLen) / float64(len(elems))
+}

@@ -1,0 +1,128 @@
+// Package omp is a minimal OpenMP-style runtime standing in for GOMP under
+// the paper's hybrid applications: parallel regions run one goroutine per
+// thread, and named critical sections serialize through per-name mutexes.
+//
+// The traced call names follow GOMP's conventions (GOMP_parallel_start,
+// GOMP_critical_start, ...) so the Table I "OMP" filters match them, and
+// the unprotected-memcpy bug of §IV-B is expressed by entering a critical
+// region with protection disabled — the GOMP_critical_* calls simply vanish
+// from that thread's trace, which is exactly what DiffTrace detects.
+package omp
+
+import (
+	"sync"
+
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+// Region is a parallel region factory bound to one process and a tracer.
+type Region struct {
+	Process int
+	Tracer  *parlot.Tracer
+
+	mu        sync.Mutex
+	criticals map[string]*sync.Mutex
+}
+
+// NewRegion returns a Region for the given process. tracer may be nil.
+func NewRegion(process int, tracer *parlot.Tracer) *Region {
+	return &Region{Process: process, Tracer: tracer, criticals: make(map[string]*sync.Mutex)}
+}
+
+// Thread gives access to one thread's runtime handle inside a region.
+type Thread struct {
+	region *Region
+	num    int
+	th     *parlot.ThreadTracer // nil when untraced
+}
+
+// Num returns the thread number (0 = master), tracing the
+// omp_get_thread_num call like the instrumented ILCS binary shows.
+func (t *Thread) Num() int {
+	t.enter("omp_get_thread_num")
+	t.exit("omp_get_thread_num")
+	return t.num
+}
+
+// Tracer exposes the thread's ParLOT tracer (nil when untraced), so
+// application code can trace its own functions on the right thread.
+func (t *Thread) Tracer() *parlot.ThreadTracer { return t.th }
+
+func (t *Thread) enter(name string) {
+	if t.th != nil {
+		t.th.Enter(name)
+	}
+}
+
+func (t *Thread) exit(name string) {
+	if t.th != nil {
+		t.th.Exit(name)
+	}
+}
+
+// Parallel runs body on numThreads threads (thread 0 included) and blocks
+// until all return — the `#pragma omp parallel num_threads(n)` construct of
+// Listing 1. The master (thread 0) runs on the calling goroutine, like real
+// OpenMP, so MPI calls made by thread 0 stay on the rank's thread.
+func (r *Region) Parallel(numThreads int, body func(t *Thread)) {
+	master := r.thread(0)
+	master.enter("GOMP_parallel_start")
+	master.exit("GOMP_parallel_start")
+
+	var wg sync.WaitGroup
+	for i := 1; i < numThreads; i++ {
+		wg.Add(1)
+		go func(num int) {
+			defer wg.Done()
+			body(r.thread(num))
+		}(i)
+	}
+	body(master)
+	wg.Wait()
+
+	master.enter("GOMP_parallel_end")
+	master.exit("GOMP_parallel_end")
+}
+
+func (r *Region) thread(num int) *Thread {
+	t := &Thread{region: r, num: num}
+	if r.Tracer != nil {
+		t.th = r.Tracer.Thread(trace.TID(r.Process, num))
+	}
+	return t
+}
+
+// criticalMu returns the process-wide mutex for a named critical section.
+func (r *Region) criticalMu(name string) *sync.Mutex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.criticals[name]
+	if !ok {
+		m = &sync.Mutex{}
+		r.criticals[name] = m
+	}
+	return m
+}
+
+// Critical executes body inside the named critical section, tracing
+// GOMP_critical_start/GOMP_critical_end. When protect is false the section
+// is entered WITHOUT the lock and without the GOMP_* calls — the §IV-B
+// injected bug (omitted critical section → data race, and the calls missing
+// from the trace).
+func (t *Thread) Critical(name string, protect bool, body func()) {
+	if !protect {
+		body()
+		return
+	}
+	mu := t.region.criticalMu(name)
+	t.enter("GOMP_critical_start")
+	mu.Lock()
+	t.exit("GOMP_critical_start")
+	defer func() {
+		mu.Unlock()
+		t.enter("GOMP_critical_end")
+		t.exit("GOMP_critical_end")
+	}()
+	body()
+}

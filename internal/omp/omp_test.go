@@ -1,0 +1,176 @@
+package omp
+
+import (
+	"sync"
+	"testing"
+
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func TestParallelRunsAllThreads(t *testing.T) {
+	r := NewRegion(0, nil)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	r.Parallel(4, func(th *Thread) {
+		mu.Lock()
+		seen[th.num] = true
+		mu.Unlock()
+	})
+	if len(seen) != 4 {
+		t.Fatalf("threads seen = %v", seen)
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Errorf("thread %d never ran", i)
+		}
+	}
+}
+
+func TestMasterRunsOnCallingGoroutine(t *testing.T) {
+	r := NewRegion(0, nil)
+	marker := 0
+	r.Parallel(2, func(th *Thread) {
+		if th.num == 0 {
+			marker = 42 // no synchronization needed if on calling goroutine
+		}
+	})
+	if marker != 42 {
+		t.Error("master body did not run before Parallel returned")
+	}
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	r := NewRegion(0, nil)
+	counter := 0
+	r.Parallel(8, func(th *Thread) {
+		for i := 0; i < 200; i++ {
+			th.Critical("champ", true, func() {
+				counter++
+			})
+		}
+	})
+	if counter != 1600 {
+		t.Fatalf("counter = %d, want 1600 (lost updates)", counter)
+	}
+}
+
+func TestCriticalTracing(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	r := NewRegion(3, tr)
+	r.Parallel(2, func(th *Thread) {
+		th.Num()
+		th.Critical("sec", true, func() {})
+	})
+	set := tr.Collect()
+	if len(set.Traces) != 2 {
+		t.Fatalf("traces = %d", len(set.Traces))
+	}
+	for _, tid := range []trace.ThreadID{trace.TID(3, 0), trace.TID(3, 1)} {
+		names := set.Traces[tid].Names(set.Registry)
+		var hasStart, hasEnd, hasNum bool
+		for _, n := range names {
+			switch n {
+			case "GOMP_critical_start":
+				hasStart = true
+			case "GOMP_critical_end":
+				hasEnd = true
+			case "omp_get_thread_num":
+				hasNum = true
+			}
+		}
+		if !hasStart || !hasEnd || !hasNum {
+			t.Errorf("thread %v calls = %v", tid, names)
+		}
+	}
+	// Master also records the parallel region markers.
+	names := set.Traces[trace.TID(3, 0)].Names(set.Registry)
+	if names[0] != "GOMP_parallel_start" {
+		t.Errorf("master calls = %v", names)
+	}
+}
+
+func TestUnprotectedCriticalLeavesNoTrace(t *testing.T) {
+	// The §IV-B bug: protect=false omits the GOMP_critical_* calls.
+	tr := parlot.NewTracer(parlot.MainImage)
+	r := NewRegion(6, tr)
+	ran := false
+	r.Parallel(1, func(th *Thread) {
+		th.Critical("champ", false, func() { ran = true })
+	})
+	if !ran {
+		t.Fatal("body skipped")
+	}
+	set := tr.Collect()
+	for _, n := range set.Traces[trace.TID(6, 0)].Names(set.Registry) {
+		if n == "GOMP_critical_start" || n == "GOMP_critical_end" {
+			t.Errorf("unprotected critical traced %s", n)
+		}
+	}
+}
+
+func TestDistinctCriticalNamesAreIndependent(t *testing.T) {
+	r := NewRegion(0, nil)
+	a := r.criticalMu("a")
+	b := r.criticalMu("b")
+	if a == b {
+		t.Error("different names share a mutex")
+	}
+	if a != r.criticalMu("a") {
+		t.Error("same name returned different mutexes")
+	}
+}
+
+func TestNestedRegionsSeparateProcesses(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := NewRegion(p, tr)
+			r.Parallel(2, func(th *Thread) { th.Num() })
+		}(p)
+	}
+	wg.Wait()
+	set := tr.Collect()
+	if len(set.Traces) != 6 {
+		t.Fatalf("traces = %d, want 6 (3 procs x 2 threads)", len(set.Traces))
+	}
+}
+
+func TestSequentialParallelRegions(t *testing.T) {
+	// LULESH-style kernels: many short-lived parallel regions in sequence
+	// reuse the region's tracer threads and critical mutexes.
+	tr := parlot.NewTracer(parlot.MainImage)
+	r := NewRegion(0, tr)
+	total := 0
+	var mu sync.Mutex
+	for k := 0; k < 10; k++ {
+		r.Parallel(3, func(th *Thread) {
+			th.Critical("acc", true, func() {
+				mu.Lock()
+				total++
+				mu.Unlock()
+			})
+		})
+	}
+	if total != 30 {
+		t.Fatalf("total = %d", total)
+	}
+	set := tr.Collect()
+	if len(set.Traces) != 3 {
+		t.Fatalf("traces = %d, want 3 reused threads", len(set.Traces))
+	}
+	// The master's trace contains 10 region start/end pairs.
+	names := set.Traces[trace.TID(0, 0)].Names(set.Registry)
+	starts := 0
+	for _, n := range names {
+		if n == "GOMP_parallel_start" {
+			starts++
+		}
+	}
+	if starts != 10 {
+		t.Errorf("region starts = %d", starts)
+	}
+}

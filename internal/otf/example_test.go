@@ -1,0 +1,25 @@
+package otf_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/otf"
+)
+
+// Logical clocks order a send before its receive; unrelated events stay
+// concurrent.
+func ExampleHappensBefore() {
+	log := otf.NewLog(3)
+	send := log.Record(0, "MPI_Send")
+	recv := log.Record(1, "MPI_Recv", send)
+	other := log.Record(2, "compute")
+
+	s, _ := log.Event(send)
+	r, _ := log.Event(recv)
+	o, _ := log.Event(other)
+	fmt.Println(otf.HappensBefore(s, r))
+	fmt.Println(otf.Concurrent(s, o))
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,16 @@
+package otf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadOTF: arbitrary text never panics the OTF reader.
+func FuzzReadOTF(f *testing.F) {
+	f.Add("OTF2 ranks=2 events=1\nE 0 rank=0 peer=-1 lamport=1 vec=1,0 n\n")
+	f.Add("OTF2 ranks=0 events=0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = ReadOTF(strings.NewReader(input))
+	})
+}

@@ -1,0 +1,332 @@
+// Package otf implements the paper's future-work item 2: "converting
+// ParLOT traces into Open Trace Format (OTF2) by logically timestamping
+// trace entries to mine temporal properties of functions such as
+// happened-before" (Lamport 1978, the paper's reference [46]).
+//
+// A Log attaches Lamport and vector clocks to the communication events of
+// one execution. The MPI runtime (internal/mpi) drives it: every send,
+// receive, and collective ticks the owning rank's clocks and joins them
+// with the clocks of the events it causally depends on. The resulting
+// event stream supports exact happens-before queries (vector-clock
+// comparison) and serializes to an OTF2-flavored text format.
+package otf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Event is one logically timestamped occurrence on a rank. Peer is the
+// other endpoint for point-to-point communication events (-1 otherwise).
+type Event struct {
+	ID      int
+	Rank    int
+	Name    string
+	Peer    int
+	Lamport uint64
+	Vector  []uint64
+}
+
+// Log collects timestamped events for a fixed number of ranks. Safe for
+// concurrent use by the runtime's rank goroutines.
+type Log struct {
+	mu      sync.Mutex
+	n       int
+	lamport []uint64
+	vector  [][]uint64
+	events  []Event
+}
+
+// NewLog returns a Log for n ranks.
+func NewLog(n int) *Log {
+	l := &Log{n: n, lamport: make([]uint64, n), vector: make([][]uint64, n)}
+	for i := range l.vector {
+		l.vector[i] = make([]uint64, n)
+	}
+	return l
+}
+
+// Ranks returns the number of ranks.
+func (l *Log) Ranks() int { return l.n }
+
+// Record ticks rank's clocks, joins them with the clocks of the events
+// named in joinWith (the causal predecessors: the matching send for a
+// receive, every contribution for a collective exit), appends the event,
+// and returns its ID for later joins.
+func (l *Log) Record(rank int, name string, joinWith ...int) int {
+	return l.RecordComm(rank, name, -1, joinWith...)
+}
+
+// RecordComm is Record for point-to-point communication events, tagging the
+// peer rank so communication matrices can be mined from the log (Roth et
+// al.'s automated pattern characterization, the paper's reference [41]).
+func (l *Log) RecordComm(rank int, name string, peer int, joinWith ...int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Join: component-wise max with each predecessor's vector; Lamport max.
+	for _, id := range joinWith {
+		if id < 0 || id >= len(l.events) {
+			continue
+		}
+		p := l.events[id]
+		if p.Lamport > l.lamport[rank] {
+			l.lamport[rank] = p.Lamport
+		}
+		for i, v := range p.Vector {
+			if v > l.vector[rank][i] {
+				l.vector[rank][i] = v
+			}
+		}
+	}
+	// Tick.
+	l.lamport[rank]++
+	l.vector[rank][rank]++
+
+	ev := Event{
+		ID:      len(l.events),
+		Rank:    rank,
+		Name:    name,
+		Peer:    peer,
+		Lamport: l.lamport[rank],
+		Vector:  append([]uint64(nil), l.vector[rank]...),
+	}
+	l.events = append(l.events, ev)
+	return ev.ID
+}
+
+// Events returns a copy of the event stream in record order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Event returns the event with the given ID.
+func (l *Log) Event(id int) (Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id < 0 || id >= len(l.events) {
+		return Event{}, false
+	}
+	return l.events[id], true
+}
+
+// HappensBefore reports a → b in the causal partial order (vector-clock
+// dominance; strict).
+func HappensBefore(a, b Event) bool {
+	if len(a.Vector) != len(b.Vector) {
+		return false
+	}
+	strictly := false
+	for i := range a.Vector {
+		if a.Vector[i] > b.Vector[i] {
+			return false
+		}
+		if a.Vector[i] < b.Vector[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// Concurrent reports that neither a → b nor b → a.
+func Concurrent(a, b Event) bool {
+	return !HappensBefore(a, b) && !HappensBefore(b, a) && a.ID != b.ID
+}
+
+// Validate checks the log's internal consistency: Lamport clocks strictly
+// increase along each rank, and every event's vector dominates its own
+// prior events on that rank. Returns the first violation.
+func (l *Log) Validate() error {
+	last := make(map[int]Event)
+	for _, e := range l.Events() {
+		if p, ok := last[e.Rank]; ok {
+			if e.Lamport <= p.Lamport {
+				return fmt.Errorf("otf: rank %d lamport not increasing at event %d", e.Rank, e.ID)
+			}
+			if !HappensBefore(p, e) {
+				return fmt.Errorf("otf: rank %d program order broken at event %d", e.Rank, e.ID)
+			}
+		}
+		last[e.Rank] = e
+	}
+	return nil
+}
+
+// CriticalPathLength returns the maximum Lamport timestamp — the length of
+// the execution's longest causal chain, a progress/temporal metric OTF
+// consumers typically derive.
+func (l *Log) CriticalPathLength() uint64 {
+	max := uint64(0)
+	for _, e := range l.Events() {
+		if e.Lamport > max {
+			max = e.Lamport
+		}
+	}
+	return max
+}
+
+// RankProgress returns each rank's causal progress in [0, 1]: its maximum
+// Lamport timestamp over the execution's critical-path length. This is the
+// happens-before-based progress measure the paper plans to incorporate via
+// Garg et al.'s lattice algorithms (§VI, references [31][32]): a rank far
+// behind the causal frontier — a stalled or deadlocked task — scores low.
+// Ranks with no events score 0.
+func (l *Log) RankProgress() []float64 {
+	out := make([]float64, l.n)
+	maxLamport := make([]uint64, l.n)
+	total := uint64(0)
+	for _, e := range l.Events() {
+		if e.Rank >= 0 && e.Rank < l.n && e.Lamport > maxLamport[e.Rank] {
+			maxLamport[e.Rank] = e.Lamport
+		}
+		if e.Lamport > total {
+			total = e.Lamport
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	for i, m := range maxLamport {
+		out[i] = float64(m) / float64(total)
+	}
+	return out
+}
+
+// LeastProgressedRank returns the rank with the lowest causal progress and
+// its score.
+func (l *Log) LeastProgressedRank() (int, float64) {
+	p := l.RankProgress()
+	best, bestScore := -1, 2.0
+	for i, s := range p {
+		if s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best, bestScore
+}
+
+// ---- OTF2-flavored text serialization ------------------------------------
+
+// WriteOTF serializes the log:
+//
+//	OTF2 ranks=4 events=42
+//	E 0 rank=1 lamport=3 vec=1,3,0,0 MPI_Send
+func (l *Log) WriteOTF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	events := l.Events()
+	if _, err := fmt.Fprintf(bw, "OTF2 ranks=%d events=%d\n", l.n, len(events)); err != nil {
+		return err
+	}
+	for _, e := range events {
+		parts := make([]string, len(e.Vector))
+		for i, v := range e.Vector {
+			parts[i] = strconv.FormatUint(v, 10)
+		}
+		if _, err := fmt.Fprintf(bw, "E %d rank=%d peer=%d lamport=%d vec=%s %s\n",
+			e.ID, e.Rank, e.Peer, e.Lamport, strings.Join(parts, ","), e.Name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadOTF parses the text format back into a read-only Log.
+func ReadOTF(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("otf: empty input")
+	}
+	var n, count int
+	if _, err := fmt.Sscanf(sc.Text(), "OTF2 ranks=%d events=%d", &n, &count); err != nil {
+		return nil, fmt.Errorf("otf: bad header %q: %w", sc.Text(), err)
+	}
+	l := NewLog(n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 7 || fields[0] != "E" {
+			return nil, fmt.Errorf("otf: bad event line %q", line)
+		}
+		id, err1 := strconv.Atoi(fields[1])
+		rank, err2 := parseKV(fields[2], "rank")
+		peer, err4 := parseKV(fields[3], "peer")
+		lam, err3 := parseKV(fields[4], "lamport")
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("otf: bad event line %q", line)
+		}
+		vecStr, ok := strings.CutPrefix(fields[5], "vec=")
+		if !ok {
+			return nil, fmt.Errorf("otf: bad vector in %q", line)
+		}
+		comps := strings.Split(vecStr, ",")
+		if len(comps) != n {
+			return nil, fmt.Errorf("otf: vector arity %d, want %d", len(comps), n)
+		}
+		vec := make([]uint64, n)
+		for i, c := range comps {
+			v, err := strconv.ParseUint(c, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("otf: bad vector component %q", c)
+			}
+			vec[i] = v
+		}
+		if rank < 0 || rank >= n {
+			return nil, fmt.Errorf("otf: rank %d out of range", rank)
+		}
+		l.events = append(l.events, Event{
+			ID: id, Rank: rank, Peer: peer, Name: fields[6],
+			Lamport: uint64(lam), Vector: vec,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(l.events) != count {
+		return nil, fmt.Errorf("otf: header says %d events, read %d", count, len(l.events))
+	}
+	return l, nil
+}
+
+func parseKV(s, key string) (int, error) {
+	v, ok := strings.CutPrefix(s, key+"=")
+	if !ok {
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	return strconv.Atoi(v)
+}
+
+// Timeline renders the events grouped by rank in Lamport order — a
+// poor man's Vampir view for the examples.
+func (l *Log) Timeline() string {
+	events := l.Events()
+	byRank := make(map[int][]Event)
+	for _, e := range events {
+		byRank[e.Rank] = append(byRank[e.Rank], e)
+	}
+	var b strings.Builder
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		fmt.Fprintf(&b, "rank %d:", r)
+		for _, e := range byRank[r] {
+			fmt.Fprintf(&b, " %s@%d", e.Name, e.Lamport)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,273 @@
+package otf
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordTicksClocks(t *testing.T) {
+	l := NewLog(2)
+	a := l.Record(0, "x")
+	b := l.Record(0, "y")
+	ea, _ := l.Event(a)
+	eb, _ := l.Event(b)
+	if ea.Lamport != 1 || eb.Lamport != 2 {
+		t.Errorf("lamports: %d %d", ea.Lamport, eb.Lamport)
+	}
+	if !HappensBefore(ea, eb) {
+		t.Error("program order not causal")
+	}
+}
+
+func TestSendRecvJoin(t *testing.T) {
+	l := NewLog(2)
+	l.Record(1, "warmup") // advance rank 1 independently
+	s := l.Record(0, "MPI_Send")
+	r := l.Record(1, "MPI_Recv", s)
+	es, _ := l.Event(s)
+	er, _ := l.Event(r)
+	if !HappensBefore(es, er) {
+		t.Errorf("send %v should happen before recv %v", es.Vector, er.Vector)
+	}
+	if er.Lamport <= es.Lamport {
+		t.Errorf("recv lamport %d not above send %d", er.Lamport, es.Lamport)
+	}
+}
+
+func TestConcurrentEvents(t *testing.T) {
+	l := NewLog(2)
+	a := l.Record(0, "a")
+	b := l.Record(1, "b")
+	ea, _ := l.Event(a)
+	eb, _ := l.Event(b)
+	if !Concurrent(ea, eb) {
+		t.Error("independent events on different ranks should be concurrent")
+	}
+	if Concurrent(ea, ea) {
+		t.Error("an event is not concurrent with itself")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	l := NewLog(3)
+	var contribs []int
+	pre := make([]int, 3)
+	for r := 0; r < 3; r++ {
+		pre[r] = l.Record(r, "work")
+		contribs = append(contribs, l.Record(r, "barrier.enter"))
+	}
+	exits := make([]int, 3)
+	for r := 0; r < 3; r++ {
+		exits[r] = l.Record(r, "barrier.exit", contribs...)
+	}
+	// Every pre-barrier event happens before every post-barrier event.
+	for _, p := range pre {
+		for _, x := range exits {
+			ep, _ := l.Event(p)
+			ex, _ := l.Event(x)
+			if !HappensBefore(ep, ex) {
+				t.Errorf("pre %v !-> post %v", ep, ex)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := NewLog(2)
+	l.Record(0, "a")
+	l.Record(1, "b")
+	l.Record(0, "c")
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+	if l.CriticalPathLength() != 2 {
+		t.Errorf("critical path = %d", l.CriticalPathLength())
+	}
+}
+
+func TestEventBounds(t *testing.T) {
+	l := NewLog(1)
+	if _, ok := l.Event(0); ok {
+		t.Error("empty log returned an event")
+	}
+	l.Record(0, "x")
+	if _, ok := l.Event(-1); ok {
+		t.Error("negative ID accepted")
+	}
+}
+
+func TestOTFRoundTrip(t *testing.T) {
+	l := NewLog(3)
+	s := l.Record(0, "MPI_Send")
+	l.Record(1, "MPI_Recv", s)
+	l.Record(2, "compute")
+	var buf bytes.Buffer
+	if err := l.WriteOTF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOTF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.Events()
+	have := got.Events()
+	if len(have) != len(want) {
+		t.Fatalf("events: %d vs %d", len(have), len(want))
+	}
+	for i := range want {
+		if want[i].Name != have[i].Name || want[i].Lamport != have[i].Lamport ||
+			want[i].Rank != have[i].Rank {
+			t.Errorf("event %d mismatch: %+v vs %+v", i, want[i], have[i])
+		}
+		for k := range want[i].Vector {
+			if want[i].Vector[k] != have[i].Vector[k] {
+				t.Errorf("event %d vector mismatch", i)
+			}
+		}
+	}
+}
+
+func TestReadOTFErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage\n",
+		"OTF2 ranks=2 events=1\nE x rank=0 peer=-1 lamport=1 vec=1,0 n\n",
+		"OTF2 ranks=2 events=1\nE 0 rank=0 peer=-1 lamport=1 vec=1 n\n",   // arity
+		"OTF2 ranks=2 events=1\nE 0 rank=9 peer=-1 lamport=1 vec=1,0 n\n", // rank range
+		"OTF2 ranks=2 events=2\nE 0 rank=0 peer=-1 lamport=1 vec=1,0 n\n", // count mismatch
+		"OTF2 ranks=2 events=1\nE 0 rank=0 peer=-1 lamport=1 vec=a,b n\n", // bad vec
+		"OTF2 ranks=2 events=1\nE 0 rank=0 peer=-1 lamport=1 1,0 n\n",     // missing vec=
+		"OTF2 ranks=2 events=1\nE 0 rank=0 lamport=1 vec=1,0 n\n",         // missing peer
+	}
+	for _, s := range bad {
+		if _, err := ReadOTF(strings.NewReader(s)); err == nil {
+			t.Errorf("input %q: expected error", s)
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	l := NewLog(2)
+	s := l.Record(0, "send")
+	l.Record(1, "recv", s)
+	out := l.Timeline()
+	if !strings.Contains(out, "rank 0: send@1") || !strings.Contains(out, "rank 1: recv@2") {
+		t.Errorf("timeline:\n%s", out)
+	}
+}
+
+// Property: HappensBefore is a strict partial order on any recorded log
+// (irreflexive, antisymmetric, transitive).
+func TestQuickPartialOrder(t *testing.T) {
+	f := func(ops []uint8) bool {
+		l := NewLog(3)
+		var ids []int
+		for _, op := range ops {
+			rank := int(op) % 3
+			if op%2 == 0 && len(ids) > 0 {
+				ids = append(ids, l.Record(rank, "join", ids[int(op)%len(ids)]))
+			} else {
+				ids = append(ids, l.Record(rank, "local"))
+			}
+		}
+		evs := l.Events()
+		for i := range evs {
+			if HappensBefore(evs[i], evs[i]) {
+				return false
+			}
+			for j := range evs {
+				if HappensBefore(evs[i], evs[j]) && HappensBefore(evs[j], evs[i]) {
+					return false
+				}
+				for k := range evs {
+					if HappensBefore(evs[i], evs[j]) && HappensBefore(evs[j], evs[k]) &&
+						!HappensBefore(evs[i], evs[k]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanksAndValidateViolations(t *testing.T) {
+	l := NewLog(3)
+	if l.Ranks() != 3 {
+		t.Errorf("Ranks = %d", l.Ranks())
+	}
+	// Hand-build a log with a broken Lamport sequence via ReadOTF.
+	in := "OTF2 ranks=1 events=2\n" +
+		"E 0 rank=0 peer=-1 lamport=2 vec=2 a\n" +
+		"E 1 rank=0 peer=-1 lamport=1 vec=1 b\n"
+	bad, err := ReadOTF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-increasing lamport accepted")
+	}
+	// Broken program order (lamport ok, vector regresses).
+	in2 := "OTF2 ranks=2 events=2\n" +
+		"E 0 rank=0 peer=-1 lamport=1 vec=1,5 a\n" +
+		"E 1 rank=0 peer=-1 lamport=2 vec=2,0 b\n"
+	bad2, err := ReadOTF(strings.NewReader(in2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Error("vector regression accepted")
+	}
+}
+
+func TestHappensBeforeArityMismatch(t *testing.T) {
+	a := Event{Vector: []uint64{1}}
+	b := Event{Vector: []uint64{1, 2}}
+	if HappensBefore(a, b) {
+		t.Error("arity mismatch should not be ordered")
+	}
+}
+
+func TestWriteOTFErrorPropagates(t *testing.T) {
+	l := NewLog(1)
+	l.Record(0, "x")
+	if err := l.WriteOTF(failWriter{}); err == nil {
+		t.Error("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errSink }
+
+var errSink = fmt.Errorf("sink closed")
+
+func TestRankProgress(t *testing.T) {
+	l := NewLog(3)
+	// Rank 0 does 3 events, rank 1 does 1 joined to rank 0's last, rank 2
+	// does nothing.
+	var last int
+	for i := 0; i < 3; i++ {
+		last = l.Record(0, "work")
+	}
+	l.Record(1, "recv", last)
+	p := l.RankProgress()
+	if p[0] != 3.0/4 || p[1] != 1 || p[2] != 0 {
+		t.Errorf("progress = %v", p)
+	}
+	rank, score := l.LeastProgressedRank()
+	if rank != 2 || score != 0 {
+		t.Errorf("least progressed = %d (%f)", rank, score)
+	}
+	empty := NewLog(2)
+	if p := empty.RankProgress(); p[0] != 0 || p[1] != 0 {
+		t.Errorf("empty progress = %v", p)
+	}
+}

@@ -1,0 +1,220 @@
+package parlot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"difftrace/internal/trace"
+)
+
+// Compressed trace-set file format — what ParLOT actually writes to disk
+// (one compressed stream per thread plus a shared name table), as opposed
+// to the human-readable text format in package trace:
+//
+//	magic "PLOT1"
+//	uvarint numNames, then per name: uvarint len + bytes (ID = index)
+//	uvarint numTraces, then per trace:
+//	    uvarint process, uvarint thread, byte truncated,
+//	    uvarint compressedLen, compressed bytes (Encoder stream of
+//	    fn<<1|kind symbols)
+//
+// Only names actually referenced by events are written, with IDs remapped
+// densely, so a file stands alone regardless of how large the in-memory
+// registry grew. Reading interns names into the caller's registry (pass
+// the same registry for a normal/faulty pair, exactly like the text
+// format).
+
+const fileMagic = "PLOT1"
+
+// WriteSetBinary writes set in the compressed binary format.
+func WriteSetBinary(w io.Writer, set *trace.TraceSet) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+
+	// Collect referenced function IDs and build the dense remap.
+	used := map[uint32]bool{}
+	for _, tr := range set.Traces {
+		for _, e := range tr.Events {
+			used[e.Func] = true
+		}
+	}
+	oldIDs := make([]uint32, 0, len(used))
+	for id := range used {
+		oldIDs = append(oldIDs, id)
+	}
+	sort.Slice(oldIDs, func(i, j int) bool { return oldIDs[i] < oldIDs[j] })
+	remap := make(map[uint32]uint32, len(oldIDs))
+	for newID, oldID := range oldIDs {
+		remap[oldID] = uint32(newID)
+	}
+
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+
+	if err := putUvarint(uint64(len(oldIDs))); err != nil {
+		return err
+	}
+	for _, oldID := range oldIDs {
+		name := set.Registry.Name(oldID)
+		if err := putUvarint(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+
+	ids := set.IDs()
+	if err := putUvarint(uint64(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		tr := set.Traces[id]
+		if err := putUvarint(uint64(id.Process)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(id.Thread)); err != nil {
+			return err
+		}
+		trunc := byte(0)
+		if tr.Truncated {
+			trunc = 1
+		}
+		if err := bw.WriteByte(trunc); err != nil {
+			return err
+		}
+		// Compress the event stream.
+		var buf []byte
+		{
+			var bb byteSliceWriter
+			enc := NewEncoder(&bb)
+			for _, e := range tr.Events {
+				enc.Encode(remap[e.Func]<<1 | uint32(e.Kind))
+			}
+			if err := enc.Flush(); err != nil {
+				return err
+			}
+			buf = bb.b
+		}
+		if err := putUvarint(uint64(len(buf))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// byteSliceWriter is a minimal io.Writer over an owned slice.
+type byteSliceWriter struct{ b []byte }
+
+func (w *byteSliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// ReadSetBinary parses the binary format, interning names into reg (nil for
+// a fresh registry).
+func ReadSetBinary(r io.Reader, reg *trace.Registry) (*trace.TraceSet, error) {
+	if reg == nil {
+		reg = trace.NewRegistry()
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("parlot: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("parlot: bad magic %q", magic)
+	}
+
+	numNames, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("parlot: name count: %w", err)
+	}
+	if numNames > 1<<24 {
+		return nil, fmt.Errorf("parlot: implausible name count %d", numNames)
+	}
+	fileToReg := make([]uint32, numNames)
+	for i := range fileToReg {
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > 1<<20 {
+			return nil, fmt.Errorf("parlot: name %d length: %w", i, err)
+		}
+		nameBytes := make([]byte, n)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, fmt.Errorf("parlot: name %d: %w", i, err)
+		}
+		fileToReg[i] = reg.ID(string(nameBytes))
+	}
+
+	numTraces, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("parlot: trace count: %w", err)
+	}
+	if numTraces > 1<<20 {
+		return nil, fmt.Errorf("parlot: implausible trace count %d", numTraces)
+	}
+	set := trace.NewTraceSetWith(reg)
+	for t := uint64(0); t < numTraces; t++ {
+		proc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("parlot: trace %d process: %w", t, err)
+		}
+		thr, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("parlot: trace %d thread: %w", t, err)
+		}
+		trunc, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("parlot: trace %d flags: %w", t, err)
+		}
+		clen, err := binary.ReadUvarint(br)
+		if err != nil || clen > 1<<30 {
+			return nil, fmt.Errorf("parlot: trace %d stream length: %w", t, err)
+		}
+		comp := make([]byte, clen)
+		if _, err := io.ReadFull(br, comp); err != nil {
+			return nil, fmt.Errorf("parlot: trace %d stream: %w", t, err)
+		}
+		syms, err := NewDecoder(&sliceByteReader{b: comp}).DecodeAll()
+		if err != nil {
+			return nil, fmt.Errorf("parlot: trace %d decompress: %w", t, err)
+		}
+		tr := set.Get(trace.TID(int(proc), int(thr)))
+		tr.Truncated = trunc != 0
+		for _, s := range syms {
+			fileID := s >> 1
+			if int(fileID) >= len(fileToReg) {
+				return nil, fmt.Errorf("parlot: trace %d references unknown name %d", t, fileID)
+			}
+			tr.Append(fileToReg[fileID], trace.EventKind(s&1))
+		}
+	}
+	return set, nil
+}
+
+// sliceByteReader is an allocation-free io.ByteReader over a slice.
+type sliceByteReader struct {
+	b []byte
+	i int
+}
+
+func (r *sliceByteReader) ReadByte() (byte, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	c := r.b[r.i]
+	r.i++
+	return c, nil
+}

@@ -1,0 +1,62 @@
+package parlot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCompressRoundTrip: any symbol stream round-trips exactly.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 3, 1, 2, 3})
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		syms := make([]uint32, len(data))
+		for i, b := range data {
+			syms[i] = uint32(b) * 257 // spread over a wider range
+		}
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		for _, s := range syms {
+			enc.Encode(s)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewDecoder(bytes.NewReader(buf.Bytes())).DecodeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(syms) {
+			t.Fatalf("len %d != %d", len(got), len(syms))
+		}
+		for i := range got {
+			if got[i] != syms[i] {
+				t.Fatalf("sym %d: %d != %d", i, got[i], syms[i])
+			}
+		}
+	})
+}
+
+// FuzzDecoderRobust: arbitrary bytes never panic the decoder.
+func FuzzDecoderRobust(f *testing.F) {
+	f.Add([]byte{0x00, 0x05})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = NewDecoder(bytes.NewReader(data)).DecodeAll()
+	})
+}
+
+// FuzzReadSetBinary: arbitrary bytes never panic the binary reader.
+func FuzzReadSetBinary(f *testing.F) {
+	s := buildSet("a", "b")
+	var buf bytes.Buffer
+	if err := WriteSetBinary(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PLOT1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadSetBinary(bytes.NewReader(data), nil)
+	})
+}

@@ -1,0 +1,26 @@
+package progress_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/nlr"
+	"difftrace/internal/progress"
+)
+
+// A faulty trace that completed 7 of the normal run's 16 loop iterations
+// earns partial credit for the matched loop.
+func ExampleScore() {
+	table := nlr.NewTable()
+	mk := func(iters int) []nlr.Element {
+		toks := []string{"init"}
+		for i := 0; i < iters; i++ {
+			toks = append(toks, "recv", "send")
+		}
+		return nlr.Summarize(toks, 10, table)
+	}
+	normal := mk(16)
+	faulty := mk(7)
+	fmt.Printf("%.3f\n", progress.Score(normal, faulty))
+	// Output:
+	// 0.455
+}

@@ -1,0 +1,164 @@
+package progress
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/faults"
+	"difftrace/internal/filter"
+	"difftrace/internal/nlr"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func sum(table *nlr.Table, tokens ...string) []nlr.Element {
+	return nlr.Summarize(tokens, 10, table)
+}
+
+func TestScoreIdentical(t *testing.T) {
+	tbl := nlr.NewTable()
+	a := sum(tbl, "init", "x", "y", "x", "y", "x", "y", "fin")
+	if got := Score(a, a); got != 1 {
+		t.Errorf("identical score = %f", got)
+	}
+}
+
+func TestScoreEmptyFaulty(t *testing.T) {
+	tbl := nlr.NewTable()
+	a := sum(tbl, "init", "work", "fin")
+	if got := Score(a, nil); got != 0 {
+		t.Errorf("empty faulty score = %f", got)
+	}
+	if got := Score(nil, a); got != 1 {
+		t.Errorf("empty normal score = %f", got)
+	}
+}
+
+func TestScorePartialLoop(t *testing.T) {
+	// Normal: loop 16 times; faulty: same loop 7 times, then truncated.
+	tbl := nlr.NewTable()
+	var normalToks, faultyToks []string
+	normalToks = append(normalToks, "init")
+	faultyToks = append(faultyToks, "init")
+	for i := 0; i < 16; i++ {
+		normalToks = append(normalToks, "recv", "send")
+	}
+	for i := 0; i < 7; i++ {
+		faultyToks = append(faultyToks, "recv", "send")
+	}
+	normalToks = append(normalToks, "fin")
+	n := sum(tbl, normalToks...)
+	f := sum(tbl, faultyToks...)
+	got := Score(n, f)
+	// Matched: init (1) + 7 of 16 loop iterations (14 calls of 32).
+	want := (1.0 + 14.0) / 34.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("score = %f, want %f", got, want)
+	}
+}
+
+func TestScoreMonotoneInIterations(t *testing.T) {
+	tbl := nlr.NewTable()
+	var normalToks []string
+	for i := 0; i < 16; i++ {
+		normalToks = append(normalToks, "a", "b")
+	}
+	n := sum(tbl, normalToks...)
+	prev := -1.0
+	for iters := 3; iters <= 16; iters++ {
+		var toks []string
+		for i := 0; i < iters; i++ {
+			toks = append(toks, "a", "b")
+		}
+		got := Score(n, sum(tbl, toks...))
+		if got < prev {
+			t.Errorf("score not monotone at %d iters: %f < %f", iters, got, prev)
+		}
+		prev = got
+	}
+	if prev != 1 {
+		t.Errorf("full iterations should score 1, got %f", prev)
+	}
+}
+
+// TestDlBugLeastProgressed is the headline scenario: on the §II-G dlBug
+// cascade, where the JSM ranking and STAT both struggle, the progress
+// measure puts the faulty rank 5 at the bottom — it stalled at iteration 7
+// while every victim got further.
+func TestDlBugLeastProgressed(t *testing.T) {
+	reg := trace.NewRegistry()
+	run := func(p *faults.Plan) *trace.TraceSet {
+		tr := parlot.NewTracerWith(parlot.MainImage, reg)
+		if _, err := oddeven.Run(oddeven.Config{Procs: 16, Seed: 5, Plan: p, Tracer: tr}); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Collect()
+	}
+	normal := run(nil)
+	plan, _ := faults.Named("dlBug")
+	faulty := run(plan)
+
+	flt := filter.New(filter.MPIAll)
+	a := Analyze(flt.ApplySet(normal), flt.ApplySet(faulty), 10)
+	least := a.LeastProgressed(1)
+	if len(least) != 1 || least[0] != trace.TID(5, 0) {
+		t.Errorf("least progressed = %v, want [5.0]\n%s", least, a.Render())
+	}
+	// The unaffected... rather, the *last-stalled* ranks score higher.
+	if a.Tasks[0].Score >= a.Tasks[len(a.Tasks)-1].Score {
+		t.Error("no progress spread across the cascade")
+	}
+}
+
+func TestAnalyzeHandlesMissingThreads(t *testing.T) {
+	reg := trace.NewRegistry()
+	normal := trace.NewTraceSetWith(reg)
+	nt := normal.Get(trace.TID(0, 0))
+	nt.Append(reg.ID("a"), trace.Enter)
+	faulty := trace.NewTraceSetWith(reg) // thread never spawned
+	a := Analyze(normal, faulty, 10)
+	if len(a.Tasks) != 1 || a.Tasks[0].Score != 0 {
+		t.Errorf("missing thread analysis = %+v", a.Tasks)
+	}
+}
+
+func TestRender(t *testing.T) {
+	reg := trace.NewRegistry()
+	s := trace.NewTraceSetWith(reg)
+	s.Get(trace.TID(0, 0)).Append(reg.ID("x"), trace.Enter)
+	a := Analyze(s, s, 10)
+	out := a.Render()
+	if !strings.Contains(out, "100.0%") || !strings.Contains(out, "0.0") == false && false {
+		t.Errorf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "[##############################]") {
+		t.Errorf("full progress bar missing:\n%s", out)
+	}
+}
+
+// Property: score is always in [0,1] and scoring a sequence against itself
+// gives 1.
+func TestQuickScoreBounds(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		tbl := nlr.NewTable()
+		mk := func(raw []uint8) []nlr.Element {
+			toks := make([]string, len(raw))
+			for i, r := range raw {
+				toks[i] = string(rune('a' + int(r)%3))
+			}
+			return nlr.Summarize(toks, 10, tbl)
+		}
+		a, b := mk(ra), mk(rb)
+		s := Score(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		return Score(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

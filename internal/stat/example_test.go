@@ -1,0 +1,30 @@
+package stat_test
+
+import (
+	"fmt"
+
+	"difftrace/internal/stat"
+	"difftrace/internal/trace"
+)
+
+// Merging final call stacks into STAT's prefix tree.
+func ExampleBuild() {
+	set := trace.NewTraceSet()
+	add := func(p int, frames ...string) {
+		tr := set.Get(trace.TID(p, 0))
+		for _, f := range frames {
+			tr.Append(set.Registry.ID(f), trace.Enter)
+		}
+	}
+	add(0, "main", "MPI_Finalize")
+	add(1, "main", "MPI_Finalize")
+	add(2, "main", "solver", "MPI_Recv") // the stuck one
+
+	tree := stat.Build(set)
+	for _, c := range tree.Classes() {
+		fmt.Println(c.Signature(), c.Members)
+	}
+	// Output:
+	// main>MPI_Finalize [0.0 1.0]
+	// main>solver>MPI_Recv [2.0]
+}

@@ -1,0 +1,166 @@
+// Package stat implements a STAT-style baseline (Ahn et al., SC'09 — the
+// paper's reference [14], discussed in §II-E and §VI): it reconstructs each
+// thread's final call stack from its whole-program trace, merges the stacks
+// into a prefix tree, and groups threads into equivalence classes by stack.
+//
+// STAT is the tool DiffTrace positions itself against ("FCA-based
+// clustering provides the next logical level of refinement"): it excels at
+// triaging hangs — after a deadlock, the stalled threads' stacks directly
+// show where each one is stuck — but it sees only the *current* stack, not
+// the loop/progress history DiffTrace mines. The ablation benchmark
+// compares the two on the same traces.
+package stat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"difftrace/internal/trace"
+)
+
+// FinalStack replays a trace's enter/exit events and returns the call stack
+// at the end of the trace — for a truncated (hung) trace, the frames the
+// thread is stuck in, which is exactly what STAT samples from a live job.
+func FinalStack(tr *trace.Trace, reg *trace.Registry) []string {
+	var stack []string
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.Enter:
+			stack = append(stack, reg.Name(e.Func))
+		case trace.Exit:
+			// Pop the matching frame; tolerate unbalanced traces (library
+			// code entered before tracing started).
+			if n := len(stack); n > 0 && stack[n-1] == reg.Name(e.Func) {
+				stack = stack[:n-1]
+			}
+		}
+	}
+	return stack
+}
+
+// node is one prefix-tree vertex.
+type node struct {
+	name     string
+	children map[string]*node
+	members  []string // thread IDs whose stack ends at this node
+	visits   []string // thread IDs whose stack passes through this node
+}
+
+func newNode(name string) *node {
+	return &node{name: name, children: make(map[string]*node)}
+}
+
+// Tree is the merged prefix tree of all threads' final stacks (STAT's
+// 2D-trace/space view).
+type Tree struct {
+	root *node
+}
+
+// Build merges every thread's final stack of set into a prefix tree.
+func Build(set *trace.TraceSet) *Tree {
+	t := &Tree{root: newNode("")}
+	for _, id := range set.IDs() {
+		stack := FinalStack(set.Traces[id], set.Registry)
+		t.insert(id.String(), stack)
+	}
+	return t
+}
+
+func (t *Tree) insert(member string, stack []string) {
+	cur := t.root
+	cur.visits = append(cur.visits, member)
+	for _, frame := range stack {
+		next, ok := cur.children[frame]
+		if !ok {
+			next = newNode(frame)
+			cur.children[frame] = next
+		}
+		cur = next
+		cur.visits = append(cur.visits, member)
+	}
+	cur.members = append(cur.members, member)
+}
+
+// Class is one equivalence class: all threads sharing a final stack.
+type Class struct {
+	Stack   []string
+	Members []string
+}
+
+// Signature renders the class's stack like "main>oddEvenSort>MPI_Recv".
+func (c Class) Signature() string { return strings.Join(c.Stack, ">") }
+
+// Classes returns the equivalence classes, largest first (ties by
+// signature) — STAT's process-equivalence view.
+func (t *Tree) Classes() []Class {
+	var out []Class
+	var walk func(n *node, prefix []string)
+	walk = func(n *node, prefix []string) {
+		if len(n.members) > 0 {
+			stack := append([]string(nil), prefix...)
+			members := append([]string(nil), n.members...)
+			out = append(out, Class{Stack: stack, Members: members})
+		}
+		keys := make([]string, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			walk(n.children[k], append(prefix, k))
+		}
+	}
+	walk(t.root, nil)
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Signature() < out[j].Signature()
+	})
+	return out
+}
+
+// Outliers returns the members of every class no larger than maxSize —
+// STAT's "equivalence-class outliers" heuristic: a handful of processes
+// stuck somewhere nobody else is.
+func (t *Tree) Outliers(maxSize int) []string {
+	var out []string
+	for _, c := range t.Classes() {
+		if len(c.Members) <= maxSize {
+			out = append(out, c.Members...)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render prints the prefix tree with visit counts, like STAT's merged
+// stack-trace view:
+//
+//	main [16]
+//	  oddEvenSort [3]
+//	    MPI_Recv [1]  <= 5.0
+//	  MPI_Finalize [13]
+func (t *Tree) Render() string {
+	var b strings.Builder
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		keys := make([]string, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := n.children[k]
+			fmt.Fprintf(&b, "%s%s [%d]", strings.Repeat("  ", depth), c.name, len(c.visits))
+			if len(c.members) > 0 {
+				fmt.Fprintf(&b, "  <= %s", strings.Join(c.members, ", "))
+			}
+			b.WriteByte('\n')
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package stat
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/faults"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func mk(reg *trace.Registry, id trace.ThreadID, events ...string) *trace.Trace {
+	tr := &trace.Trace{ID: id}
+	for _, e := range events {
+		if name, ok := strings.CutPrefix(e, "-"); ok {
+			tr.Append(reg.ID(name), trace.Exit)
+		} else {
+			tr.Append(reg.ID(e), trace.Enter)
+		}
+	}
+	return tr
+}
+
+func TestFinalStackBalanced(t *testing.T) {
+	reg := trace.NewRegistry()
+	tr := mk(reg, trace.TID(0, 0), "main", "f", "-f", "g", "-g", "-main")
+	if got := FinalStack(tr, reg); len(got) != 0 {
+		t.Errorf("balanced trace stack = %v", got)
+	}
+}
+
+func TestFinalStackTruncated(t *testing.T) {
+	reg := trace.NewRegistry()
+	tr := mk(reg, trace.TID(5, 0), "main", "oddEvenSort", "findPtr", "-findPtr", "MPI_Recv")
+	got := FinalStack(tr, reg)
+	want := []string{"main", "oddEvenSort", "MPI_Recv"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stack = %v, want %v", got, want)
+	}
+}
+
+func TestFinalStackUnbalancedExit(t *testing.T) {
+	reg := trace.NewRegistry()
+	// Exit without matching enter must not panic or pop the wrong frame.
+	tr := mk(reg, trace.TID(0, 0), "-mystery", "main", "-other")
+	got := FinalStack(tr, reg)
+	if !reflect.DeepEqual(got, []string{"main"}) {
+		t.Errorf("stack = %v", got)
+	}
+}
+
+func buildSet(t *testing.T) *trace.TraceSet {
+	t.Helper()
+	s := trace.NewTraceSet()
+	// 3 threads finish in main>done, 1 stuck in main>recv.
+	for i := 0; i < 3; i++ {
+		s.Put(mk(s.Registry, trace.TID(i, 0), "main", "work", "-work"))
+	}
+	s.Put(mk(s.Registry, trace.TID(3, 0), "main", "recv"))
+	return s
+}
+
+func TestClassesAndOutliers(t *testing.T) {
+	tree := Build(buildSet(t))
+	classes := tree.Classes()
+	if len(classes) != 2 {
+		t.Fatalf("classes = %+v", classes)
+	}
+	if classes[0].Signature() != "main" || len(classes[0].Members) != 3 {
+		t.Errorf("majority class = %+v", classes[0])
+	}
+	if classes[1].Signature() != "main>recv" || !reflect.DeepEqual(classes[1].Members, []string{"3.0"}) {
+		t.Errorf("outlier class = %+v", classes[1])
+	}
+	if got := tree.Outliers(1); !reflect.DeepEqual(got, []string{"3.0"}) {
+		t.Errorf("outliers = %v", got)
+	}
+	if got := tree.Outliers(3); len(got) != 4 {
+		t.Errorf("outliers(3) = %v", got)
+	}
+}
+
+func TestRenderShowsCountsAndMembers(t *testing.T) {
+	out := Build(buildSet(t)).Render()
+	if !strings.Contains(out, "main [4]") {
+		t.Errorf("render missing visit count:\n%s", out)
+	}
+	if !strings.Contains(out, "recv [1]") || !strings.Contains(out, "<= 3.0") {
+		t.Errorf("render missing stuck member:\n%s", out)
+	}
+}
+
+// TestSTATOnDlBug is the §VI comparison scenario. After the odd/even dlBug
+// deadlock every stalled rank's final stack is main>oddEvenSort>MPI_Recv,
+// so STAT's equivalence classes lump the faulty rank 5 together with all
+// fourteen cascade victims and flag the one rank that happened to reach
+// MPI_Finalize as the outlier — precisely the granularity limitation the
+// paper's FCA/NLR pipeline (which sees rank 5's loop stop at 7 of 16
+// iterations) goes beyond. The test pins this contrast down.
+func TestSTATOnDlBug(t *testing.T) {
+	tr := parlot.NewTracer(parlot.MainImage)
+	plan, _ := faults.Named("dlBug")
+	res, err := oddeven.Run(oddeven.Config{Procs: 16, Seed: 5, Plan: plan, Tracer: tr})
+	if err != nil || !res.Deadlocked {
+		t.Fatal(err, res)
+	}
+	tree := Build(tr.Collect())
+	classes := tree.Classes()
+	if len(classes) != 2 {
+		t.Fatalf("classes:\n%s", tree.Render())
+	}
+	big := classes[0]
+	if !strings.Contains(big.Signature(), "MPI_Recv") || len(big.Members) != 15 {
+		t.Errorf("majority class = %s %v", big.Signature(), big.Members)
+	}
+	has5 := false
+	for _, m := range big.Members {
+		if m == "5.0" {
+			has5 = true
+		}
+	}
+	if !has5 {
+		t.Error("rank 5 should be indistinguishable from the cascade victims at stack granularity")
+	}
+	// STAT's outlier heuristic picks the *wrong* rank here.
+	if got := tree.Outliers(1); !reflect.DeepEqual(got, []string{"15.0"}) {
+		t.Errorf("outliers = %v", got)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	tree := Build(trace.NewTraceSet())
+	if len(tree.Classes()) != 0 || tree.Render() != "" {
+		t.Error("empty set should produce empty tree")
+	}
+}

@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"difftrace/internal/attr"
+	"difftrace/internal/fca"
+	"difftrace/internal/jaccard"
+	"difftrace/internal/nlr"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+func TestCallsArithmetic(t *testing.T) {
+	s := &LoopSpec{Body: 2, Iterations: 3, Nested: &LoopSpec{Body: 1, Iterations: 4}}
+	// per outer iteration: 2 + 4 = 6; times 3 = 18.
+	if got := s.Calls(); got != 18 {
+		t.Errorf("Calls = %d", got)
+	}
+	if (*LoopSpec)(nil).Calls() != 0 {
+		t.Error("nil spec should emit 0 calls")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{
+		Prologue: 2, Epilogue: 1,
+		Loops: []LoopSpec{{Body: 3, Iterations: 5}},
+	}
+	toks := Tokens(cfg)
+	want := 2 + 3*5 + 1
+	if len(toks) != want {
+		t.Fatalf("tokens = %d, want %d", len(toks), want)
+	}
+	if toks[0] != "pro_0" || toks[len(toks)-1] != "epi_0" {
+		t.Errorf("ends = %s .. %s", toks[0], toks[len(toks)-1])
+	}
+	// Deterministic for a fixed config.
+	if strings.Join(toks, " ") != strings.Join(Tokens(cfg), " ") {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestNLRRecoversGroundTruth(t *testing.T) {
+	// A clean nested loop must summarize to a single outer-loop token with
+	// the configured iteration count.
+	cfg := Config{Loops: []LoopSpec{{
+		Body: 2, Iterations: 6,
+		Nested: &LoopSpec{Body: 1, Iterations: 4},
+	}}}
+	toks := Tokens(cfg)
+	elems := nlr.Summarize(toks, 10, nlr.NewTable())
+	if len(elems) != 1 || elems[0].Loop == nil || elems[0].Loop.Count != 6 {
+		t.Fatalf("NLR = %v", nlr.Tokens(elems))
+	}
+}
+
+func TestNoiseBreaksCompression(t *testing.T) {
+	base := Config{Loops: []LoopSpec{{Body: 4, Iterations: 100}}, Seed: 3}
+	noisy := base
+	noisy.NoiseRate = 0.3
+	noisy.NoisePool = 20
+
+	compress := func(cfg Config) float64 {
+		set := trace.NewTraceSet()
+		tr := Generate(set, trace.TID(0, 0), cfg)
+		var buf bytes.Buffer
+		enc := parlot.NewEncoder(&buf)
+		for _, e := range tr.Events {
+			enc.Encode(e.Func)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return enc.Ratio()
+	}
+	clean := compress(base)
+	dirty := compress(noisy)
+	if clean <= dirty*2 {
+		t.Errorf("noise should hurt the compressor: clean %.1f vs noisy %.1f", clean, dirty)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	cfg := Config{Loops: []LoopSpec{{Body: 2, Iterations: 50}}, TruncateAfter: 13}
+	set := trace.NewTraceSet()
+	tr := Generate(set, trace.TID(0, 0), cfg)
+	if !tr.Truncated || tr.Len() != 13 {
+		t.Errorf("truncated trace: %d events, flag=%v", tr.Len(), tr.Truncated)
+	}
+}
+
+func TestPopulationDeviantDetectable(t *testing.T) {
+	base := Config{
+		Prologue: 2, Epilogue: 1,
+		Loops: []LoopSpec{{Body: 3, Iterations: 20}},
+	}
+	set := Population(8, 5, 0.25, base) // rank 5 loops a quarter as much
+	// The actual-frequency JSM flags the deviant.
+	table := nlr.NewTable()
+	sums := nlr.SummarizeSet(set, 10, table)
+	attrs := map[string]fca.AttrSet{}
+	for id, elems := range sums {
+		attrs[id.String()] = attr.Extract(elems, attr.Config{Kind: attr.Single, Freq: attr.Actual})
+	}
+	j := jaccard.New(attrs)
+	worst, worstScore := "", -1.0
+	for i, name := range j.Names {
+		row := 0.0
+		for k := range j.M[i] {
+			row += 1 - j.M[i][k]
+		}
+		if row > worstScore {
+			worst, worstScore = name, row
+		}
+	}
+	if worst != "5.0" {
+		t.Errorf("most dissimilar = %s\n%s", worst, j.String())
+	}
+}

@@ -1,0 +1,17 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSetText: arbitrary text never panics the parser; valid output of
+// the writer always parses.
+func FuzzReadSetText(f *testing.F) {
+	f.Add("# trace 0.0\ncall main\nret main\ntruncated\n")
+	f.Add("call orphan\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = ReadSetText(strings.NewReader(input), nil)
+	})
+}

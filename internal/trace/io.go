@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format mirrors ParLOT's decoded output: a header naming the
+// thread, then one event per line ("call <name>" / "ret <name>"), and an
+// optional trailing "truncated" marker for runs aborted mid-flight.
+//
+//	# trace 6.4
+//	call main
+//	call MPI_Init
+//	ret MPI_Init
+//	truncated
+//
+// TraceSets serialize as the concatenation of their traces; the registry is
+// rebuilt from the names on read.
+
+// WriteText serializes t (resolving IDs through reg) to w.
+func WriteText(w io.Writer, t *Trace, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %d.%d\n", t.ID.Process, t.ID.Thread); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintf(bw, "%s %s\n", e.Kind, reg.Name(e.Func)); err != nil {
+			return err
+		}
+	}
+	if t.Truncated {
+		if _, err := fmt.Fprintln(bw, "truncated"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSetText serializes every trace of s in deterministic ID order.
+func WriteSetText(w io.Writer, s *TraceSet) error {
+	for _, id := range s.IDs() {
+		if err := WriteText(w, s.Traces[id], s.Registry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSetText parses the text format back into a TraceSet, interning names
+// into reg (pass nil for a fresh registry).
+func ReadSetText(r io.Reader, reg *Registry) (*TraceSet, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	s := NewTraceSetWith(reg)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var cur *Trace
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# trace "):
+			id, err := ParseThreadID(strings.TrimPrefix(line, "# trace "))
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineno, err)
+			}
+			cur = s.Get(id)
+		case line == "truncated":
+			if cur == nil {
+				return nil, fmt.Errorf("trace: line %d: 'truncated' before any header", lineno)
+			}
+			cur.Truncated = true
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("trace: line %d: event before any header", lineno)
+			}
+			kind, name, ok := strings.Cut(line, " ")
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: malformed event %q", lineno, line)
+			}
+			var k EventKind
+			switch kind {
+			case "call":
+				k = Enter
+			case "ret":
+				k = Exit
+			default:
+				return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lineno, kind)
+			}
+			cur.Append(reg.ID(name), k)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseThreadID parses "p.t" (or bare "p", meaning thread 0).
+func ParseThreadID(s string) (ThreadID, error) {
+	ps, ts, ok := strings.Cut(strings.TrimSpace(s), ".")
+	p, err := strconv.Atoi(ps)
+	if err != nil {
+		return ThreadID{}, fmt.Errorf("bad thread id %q: %w", s, err)
+	}
+	if !ok {
+		return ThreadID{Process: p}, nil
+	}
+	t, err := strconv.Atoi(ts)
+	if err != nil {
+		return ThreadID{}, fmt.Errorf("bad thread id %q: %w", s, err)
+	}
+	return ThreadID{Process: p, Thread: t}, nil
+}
