@@ -1,0 +1,34 @@
+# Development targets. `make check` is the full gate: vet, build, the race
+# suite, and a replay of the corrupt-input fuzz seed corpora.
+GO ?= go
+
+.PHONY: all build vet test race fuzz-seeds fuzz check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips the experiment shape checks: their OMP consensus rankings are
+# scheduling-sensitive and the race detector perturbs goroutine timing enough
+# to flip them (they run, unraced, in the `test` target).
+race:
+	$(GO) test -race -short ./...
+
+# Replay the checked-in fuzz seeds (corrupt/truncated trace corpora) as
+# regular tests — no fuzzing engine, deterministic, fast.
+fuzz-seeds:
+	$(GO) test -run='^Fuzz' ./internal/trace ./internal/parlot
+
+# Short live fuzzing session over the trace readers.
+fuzz:
+	$(GO) test -fuzz=FuzzReadSetText -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzReadSetBinary -fuzztime=30s ./internal/parlot
+
+check: vet build test race fuzz-seeds

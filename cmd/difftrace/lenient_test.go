@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/faults"
+	"difftrace/internal/parlot"
+	"difftrace/internal/resilience/chaos"
+)
+
+// writeBinaryFaulty emits the swap-bug run in PLOT1 binary form.
+func writeBinaryFaulty(t *testing.T) string {
+	t.Helper()
+	tr := parlot.NewTracer(parlot.MainImage)
+	plan, _ := faults.Named("swapBug")
+	if _, err := oddeven.Run(oddeven.Config{Procs: 16, Seed: 5, Plan: plan, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "faulty.plot")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := parlot.WriteSetBinary(f, tr.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// corruptFile applies op to the file at path and writes the result beside it.
+func corruptFile(t *testing.T, path string, op chaos.Operator) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := op.Apply(data, rand.New(rand.NewSource(9)))
+	cp := path + "." + op.Name
+	if err := os.WriteFile(cp, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestRunLenientSalvagesEveryCorruption: for every chaos operator,
+// `difftrace -lenient` succeeds, still prints a suspect ranking, and
+// surfaces the degradation summary whenever anything was salvaged.
+func TestRunLenientSalvagesEveryCorruption(t *testing.T) {
+	normal, faulty := writePair(t)
+	binFaulty := writeBinaryFaulty(t)
+	for _, op := range chaos.All() {
+		op := op
+		t.Run(op.Name, func(t *testing.T) {
+			src := faulty
+			if op.Binary {
+				src = binFaulty
+			}
+			corrupted := corruptFile(t, src, op)
+			var buf bytes.Buffer
+			err := run(&buf, options{normalPath: normal, faultyPath: corrupted,
+				filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward",
+				top: 6, lenient: true})
+			if err != nil {
+				t.Fatalf("lenient run: %v", err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "top thread suspects") {
+				t.Errorf("no suspect ranking in lenient output:\n%s", out)
+			}
+			if op.WantStrictError && !strings.Contains(out, "ingest ") {
+				t.Errorf("salvage happened but no ingest summary printed:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestRunStrictCorruptionFails: without -lenient, guaranteed corruption
+// fails with an error naming the file (and the line, for text input).
+func TestRunStrictCorruptionFails(t *testing.T) {
+	normal, faulty := writePair(t)
+	binFaulty := writeBinaryFaulty(t)
+	for _, op := range chaos.All() {
+		if !op.WantStrictError {
+			continue
+		}
+		op := op
+		t.Run(op.Name, func(t *testing.T) {
+			src := faulty
+			if op.Binary {
+				src = binFaulty
+			}
+			corrupted := corruptFile(t, src, op)
+			var buf bytes.Buffer
+			err := run(&buf, options{normalPath: normal, faultyPath: corrupted,
+				filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward", top: 6})
+			if err == nil {
+				t.Fatal("strict run accepted corrupted input")
+			}
+			if !strings.Contains(err.Error(), corrupted) {
+				t.Errorf("error does not name the file: %v", err)
+			}
+			if !op.Binary && !strings.Contains(err.Error(), "line ") {
+				t.Errorf("error does not name the line: %v", err)
+			}
+		})
+	}
+}
+
+// TestRunIngestReportFlag: -ingest-report prints the summary even when the
+// read was perfectly clean.
+func TestRunIngestReportFlag(t *testing.T) {
+	normal, faulty := writePair(t)
+	var buf bytes.Buffer
+	err := run(&buf, options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward",
+		top: 6, lenient: true, ingestReport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ingest "+normal) || !strings.Contains(out, "clean") {
+		t.Errorf("ingest report missing for clean read:\n%s", out)
+	}
+}

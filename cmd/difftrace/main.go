@@ -30,9 +30,30 @@ import (
 	"difftrace/internal/parlot"
 	"difftrace/internal/progress"
 	"difftrace/internal/rank"
+	"difftrace/internal/resilience"
 	"difftrace/internal/stat"
 	"difftrace/internal/trace"
 )
+
+// options carries every knob of one CLI invocation; tests drive run()
+// directly with a literal.
+type options struct {
+	normalPath, faultyPath string
+	filterSpec, attrSpec   string
+	linkageName            string
+	custom                 string // comma-separated custom regexps
+	diffTarget             string // trace/process to render diffNLR for
+	sweep                  string // comma-separated specs for ranking sweep
+	top                    int
+	heatmap, lattice       bool
+	color, report, triage  bool
+	// lenient salvages corrupt/truncated trace files instead of failing
+	// and runs the pipeline resiliently (per-trace failures isolated).
+	lenient bool
+	// ingestReport always prints the per-trace degradation report, even
+	// for clean reads.
+	ingestReport bool
+}
 
 func main() {
 	normalPath := flag.String("normal", "", "trace file of the normal execution (required)")
@@ -49,14 +70,23 @@ func main() {
 	color := flag.Bool("color", false, "ANSI colors in diffNLR output")
 	report := flag.Bool("report", false, "print the full debugging report (suspects + diffNLRs of the top suspects)")
 	triage := flag.Bool("triage", false, "append the companion analyses: STAT stack classes, AutomaDeD outliers, progress ranking")
+	lenient := flag.Bool("lenient", false, "salvage corrupt/truncated trace files instead of failing, and isolate per-trace pipeline failures")
+	ingestReport := flag.Bool("ingest-report", false, "print the per-trace ingestion/degradation report")
 	flag.Parse()
 
 	if *normalPath == "" || *faultyPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *normalPath, *faultyPath, *filterSpec, *attrSpec, *linkageName,
-		*custom, *diffTarget, *sweep, *top, *showHeatmap, *showLattice, *color, *report, *triage); err != nil {
+	err := run(os.Stdout, options{
+		normalPath: *normalPath, faultyPath: *faultyPath,
+		filterSpec: *filterSpec, attrSpec: *attrSpec, linkageName: *linkageName,
+		custom: *custom, diffTarget: *diffTarget, sweep: *sweep, top: *top,
+		heatmap: *showHeatmap, lattice: *showLattice, color: *color,
+		report: *report, triage: *triage,
+		lenient: *lenient, ingestReport: *ingestReport,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "difftrace:", err)
 		os.Exit(1)
 	}
@@ -75,32 +105,36 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(w io.Writer, normalPath, faultyPath, filterSpec, attrSpec, linkageName, custom,
-	diffTarget, sweep string, top int, showHeatmap, showLattice, color, report, triage bool) error {
+func run(w io.Writer, o options) error {
+	rdOpts := trace.ReadOptions{}
+	if o.lenient {
+		rdOpts.Mode = trace.Lenient
+	}
 	// Both runs must share one registry so function IDs align.
 	reg := trace.NewRegistry()
-	normal, err := readSet(normalPath, reg)
+	normal, nrep, err := readSet(o.normalPath, reg, rdOpts)
 	if err != nil {
 		return err
 	}
-	faulty, err := readSet(faultyPath, reg)
+	faulty, frep, err := readSet(o.faultyPath, reg, rdOpts)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "normal: %s   faulty: %s\n", normal, faulty)
+	writeIngest(w, o, nrep, frep)
 
-	linkage, err := cluster.ParseMethod(linkageName)
+	linkage, err := cluster.ParseMethod(o.linkageName)
 	if err != nil {
 		return err
 	}
-	customs := splitList(custom)
+	customs := splitList(o.custom)
 
-	if sweep != "" {
+	if o.sweep != "" {
 		tbl, err := rank.Sweep(normal, faulty, rank.Request{
-			Specs:          splitList(sweep),
+			Specs:          splitList(o.sweep),
 			CustomPatterns: customs,
 			Linkage:        linkage,
-			TopK:           top,
+			TopK:           o.top,
 		})
 		if err != nil {
 			return err
@@ -109,31 +143,35 @@ func run(w io.Writer, normalPath, faultyPath, filterSpec, attrSpec, linkageName,
 		return nil
 	}
 
-	flt, err := filter.ParseSpec(filterSpec, customs...)
+	flt, err := filter.ParseSpec(o.filterSpec, customs...)
 	if err != nil {
 		return err
 	}
-	ac, err := attr.ParseConfig(attrSpec)
+	ac, err := attr.ParseConfig(o.attrSpec)
 	if err != nil {
 		return err
 	}
 	rep, err := core.DiffRun(normal, faulty, core.Config{
-		Filter: flt, Attr: ac, Linkage: linkage, BuildLattices: showLattice,
+		Filter: flt, Attr: ac, Linkage: linkage, BuildLattices: o.lattice,
+		Resilient: o.lenient,
 	})
 	if err != nil {
 		return err
 	}
+	for _, e := range rep.Degraded {
+		fmt.Fprintf(w, "degraded: %s\n", e)
+	}
 
-	if report {
+	if o.report {
 		if err := rep.WriteReport(w, core.RenderOptions{
-			TopK:     top,
-			Heatmaps: showHeatmap,
-			Lattices: showLattice,
-			Color:    color,
+			TopK:     o.top,
+			Heatmaps: o.heatmap,
+			Lattices: o.lattice,
+			Color:    o.color,
 		}); err != nil {
 			return err
 		}
-		if triage {
+		if o.triage {
 			writeTriage(w, flt, normal, faulty)
 		}
 		return nil
@@ -142,30 +180,46 @@ func run(w io.Writer, normalPath, faultyPath, filterSpec, attrSpec, linkageName,
 	fmt.Fprintf(w, "filter=%s attrs=%s linkage=%s\n", flt, ac, linkage)
 	fmt.Fprintf(w, "B-score (threads):   %.3f\n", rep.Threads.BScore)
 	fmt.Fprintf(w, "B-score (processes): %.3f\n", rep.Processes.BScore)
-	fmt.Fprintf(w, "top thread suspects:  %s\n", strings.Join(rep.Threads.TopSuspects(top, 1e-9), ", "))
-	fmt.Fprintf(w, "top process suspects: %s\n", strings.Join(rep.Processes.TopSuspects(top, 1e-9), ", "))
+	fmt.Fprintf(w, "top thread suspects:  %s\n", strings.Join(rep.Threads.TopSuspects(o.top, 1e-9), ", "))
+	fmt.Fprintf(w, "top process suspects: %s\n", strings.Join(rep.Processes.TopSuspects(o.top, 1e-9), ", "))
 
-	if showHeatmap {
+	if o.heatmap {
 		fmt.Fprintln(w, "\nJSM_D heatmap (threads):")
 		fmt.Fprint(w, rep.Threads.JSMD.Heatmap())
 	}
-	if showLattice && rep.Threads.Faulty.Lattice != nil {
+	if o.lattice && rep.Threads.Faulty.Lattice != nil {
 		fmt.Fprintln(w, "\nconcept lattice (faulty run, threads):")
 		fmt.Fprint(w, rep.Threads.Faulty.Lattice.Render())
 	}
-	if diffTarget != "" {
+	if o.diffTarget != "" {
 		level := rep.Threads
-		if !strings.Contains(diffTarget, ".") {
+		if !strings.Contains(o.diffTarget, ".") {
 			level = rep.Processes
 		}
-		d, err := rep.DiffNLR(level, diffTarget)
+		d, err := rep.DiffNLR(level, o.diffTarget)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
-		fmt.Fprint(w, d.Render(color))
+		fmt.Fprint(w, d.Render(o.color))
 	}
 	return nil
+}
+
+// writeIngest prints the degradation summary: always with -ingest-report,
+// and automatically whenever a lenient read had to salvage anything.
+func writeIngest(w io.Writer, o options, reps ...*resilience.IngestReport) {
+	for _, rep := range reps {
+		if rep == nil || (!o.ingestReport && rep.Clean()) {
+			continue
+		}
+		// Summary/Render already lead with the source path.
+		if rep.Clean() {
+			fmt.Fprintf(w, "ingest %s\n", rep.Summary())
+		} else {
+			fmt.Fprint(w, "ingest "+rep.Render())
+		}
+	}
 }
 
 // writeTriage appends the companion analyses (§VI's related-work views) to
@@ -184,16 +238,30 @@ func writeTriage(w io.Writer, flt *filter.Filter, normal, faulty *trace.TraceSet
 }
 
 // readSet loads a trace file in either format, sniffing the binary magic.
-func readSet(path string, reg *trace.Registry) (*trace.TraceSet, error) {
+// Strict errors are prefixed with the path; the IngestReport records what a
+// lenient read salvaged.
+func readSet(path string, reg *trace.Registry, opts trace.ReadOptions) (*trace.TraceSet, *resilience.IngestReport, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
+	var (
+		s   *trace.TraceSet
+		rep *resilience.IngestReport
+	)
 	magic, err := br.Peek(5)
 	if err == nil && string(magic) == "PLOT1" {
-		return parlot.ReadSetBinary(br, reg)
+		s, rep, err = parlot.ReadSetBinaryOptions(br, reg, opts)
+	} else {
+		s, rep, err = trace.ReadSetTextOptions(br, reg, opts)
 	}
-	return trace.ReadSetText(br, reg)
+	if err != nil {
+		return nil, rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep != nil {
+		rep.Source = path
+	}
+	return s, rep, nil
 }

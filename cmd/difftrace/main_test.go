@@ -51,8 +51,9 @@ func TestSplitList(t *testing.T) {
 func TestRunSingleComparison(t *testing.T) {
 	normal, faulty := writePair(t)
 	var buf bytes.Buffer
-	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.actual", "ward",
-		"", "5.0", "", 6, true, false, false, false, false)
+	err := run(&buf, options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.actual", linkageName: "ward",
+		diffTarget: "5.0", top: 6, heatmap: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,8 +73,9 @@ func TestRunSingleComparison(t *testing.T) {
 func TestRunProcessLevelDiffNLR(t *testing.T) {
 	normal, faulty := writePair(t)
 	var buf bytes.Buffer
-	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.actual", "ward",
-		"", "5", "", 6, false, false, false, false, false)
+	err := run(&buf, options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.actual", linkageName: "ward",
+		diffTarget: "5", top: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,8 +87,9 @@ func TestRunProcessLevelDiffNLR(t *testing.T) {
 func TestRunSweepMode(t *testing.T) {
 	normal, faulty := writePair(t)
 	var buf bytes.Buffer
-	err := run(&buf, normal, faulty, "", "sing.noFreq", "ward",
-		"", "", "11.mpiall.0K10,11.mpisr.0K10", 6, false, false, false, false, false)
+	err := run(&buf, options{normalPath: normal, faultyPath: faulty,
+		attrSpec: "sing.noFreq", linkageName: "ward",
+		sweep: "11.mpiall.0K10,11.mpisr.0K10", top: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +105,9 @@ func TestRunSweepMode(t *testing.T) {
 func TestRunLatticeMode(t *testing.T) {
 	normal, faulty := writePair(t)
 	var buf bytes.Buffer
-	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.noFreq", "ward",
-		"", "", "", 6, false, true, false, false, false)
+	err := run(&buf, options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward",
+		top: 6, lattice: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,8 +119,9 @@ func TestRunLatticeMode(t *testing.T) {
 func TestRunReportMode(t *testing.T) {
 	normal, faulty := writePair(t)
 	var buf bytes.Buffer
-	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.actual", "ward",
-		"", "", "", 3, false, false, false, true, false)
+	err := run(&buf, options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.actual", linkageName: "ward",
+		top: 3, report: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,8 +134,9 @@ func TestRunReportMode(t *testing.T) {
 func TestRunTriageMode(t *testing.T) {
 	normal, faulty := writePair(t)
 	var buf bytes.Buffer
-	err := run(&buf, normal, faulty, "11.mpiall.0K10", "sing.actual", "ward",
-		"", "", "", 3, false, false, false, true, true)
+	err := run(&buf, options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.actual", linkageName: "ward",
+		top: 3, report: true, triage: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,8 +163,9 @@ func TestRunErrors(t *testing.T) {
 		{"bad target", normal, faulty, "11.0K10", "sing.noFreq", "ward", "99.9"},
 	}
 	for _, c := range cases {
-		err := run(&buf, c.normalP, c.faultyP, c.flt, c.attrs, c.linkage,
-			"", c.diffT, "", 6, false, false, false, false, false)
+		err := run(&buf, options{normalPath: c.normalP, faultyPath: c.faultyP,
+			filterSpec: c.flt, attrSpec: c.attrs, linkageName: c.linkage,
+			diffTarget: c.diffT, top: 6})
 		if err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}

@@ -66,6 +66,13 @@ func AllMethods() []Method {
 	return out
 }
 
+// Valid reports whether m names one of the seven linkage methods. Build
+// rejects invalid methods with an error, so a Method arriving from user
+// input (a flag, a config file) can never panic the pipeline.
+func (m Method) Valid() bool {
+	return m >= Single && m <= Ward
+}
+
 // squaredSpace reports whether the Lance–Williams recurrence for m operates
 // on squared distances (SciPy's convention for the geometric methods).
 func (m Method) squaredSpace() bool {
@@ -93,7 +100,8 @@ func (m Method) coeffs(ni, nj, nk float64) (ai, aj, beta, gamma float64) {
 		s := ni + nj + nk
 		return (ni + nk) / s, (nj + nk) / s, -nk / s, 0
 	default:
-		panic("cluster: bad method")
+		// Unreachable: Build validates the method before clustering.
+		return 0.5, 0.5, 0, 0
 	}
 }
 
@@ -115,6 +123,10 @@ type Step struct {
 // Build clusters the n×n dissimilarity matrix d with the given method.
 // The matrix must be symmetric with a zero diagonal; it is not modified.
 func Build(d [][]float64, method Method) (*Linkage, error) {
+	if !method.Valid() {
+		return nil, fmt.Errorf("cluster: unknown linkage %s (want one of %s)",
+			method, strings.Join(methodNames, "|"))
+	}
 	n := len(d)
 	for i := range d {
 		if len(d[i]) != n {

@@ -49,6 +49,21 @@ func TestValidation(t *testing.T) {
 	if _, err := Build([][]float64{{0, -1}, {-1, 0}}, Single); err == nil {
 		t.Error("negative distance accepted")
 	}
+	// An invalid method is an error, never a panic: user input (flags,
+	// config files) reaches Build unchecked.
+	for _, m := range []Method{Method(-1), Method(99)} {
+		if _, err := Build([][]float64{{0, 1}, {1, 0}}, m); err == nil {
+			t.Errorf("invalid method %d accepted", m)
+		}
+		if m.Valid() {
+			t.Errorf("Method(%d).Valid() = true", m)
+		}
+	}
+	for _, m := range AllMethods() {
+		if !m.Valid() {
+			t.Errorf("%s not Valid", m)
+		}
+	}
 }
 
 func TestTrivialSizes(t *testing.T) {

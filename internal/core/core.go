@@ -23,6 +23,7 @@ import (
 	"difftrace/internal/filter"
 	"difftrace/internal/jaccard"
 	"difftrace/internal/nlr"
+	"difftrace/internal/resilience"
 	"difftrace/internal/trace"
 )
 
@@ -35,6 +36,13 @@ type Config struct {
 	// BuildLattices materializes the concept lattices (needed for lattice
 	// inspection/rendering; the JSM itself is derivable either way).
 	BuildLattices bool
+	// Resilient isolates per-stage failures instead of propagating them:
+	// a panic or error confined to one object (e.g. an NLR blow-up on a
+	// pathological trace) skips that object on both sides with a recorded
+	// StageError, and a level-wide failure degrades to an empty Level —
+	// the remaining traces still produce a JSM and ranking. Off by
+	// default: errors and panics propagate exactly as before.
+	Resilient bool
 }
 
 // DefaultConfig mirrors the paper's experiment settings: drop returns and
@@ -84,7 +92,17 @@ type Report struct {
 	LoopTable *nlr.Table
 	Threads   *Level // objects are "p.t" thread traces
 	Processes *Level // objects are "p" merged process traces
+	// Degraded lists the isolated failures a Resilient run recovered
+	// from: objects skipped and levels degraded, each with its stage and
+	// cause. Empty for a fully healthy run (and always empty when
+	// Config.Resilient is off, since failures then abort the run).
+	Degraded []*resilience.StageError
 }
+
+// testStageHook, when non-nil, is invoked at the start of every stage
+// (level entry and per-object summarization). Tests install a panicking
+// hook to exercise the isolation paths; nil in production.
+var testStageHook func(stage, object string)
 
 // DiffRun executes the full pipeline for one parameter combination.
 func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
@@ -100,18 +118,57 @@ func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 	fn := cfg.Filter.ApplySet(normal)
 	ff := cfg.Filter.ApplySet(faulty)
 
-	threads, err := diffLevel(threadObjects(fn), threadObjects(ff), cfg, table)
-	if err != nil {
-		return nil, fmt.Errorf("core: thread level: %w", err)
+	levels := []struct {
+		stage string
+		n, f  []object
+		dst   **Level
+	}{
+		{"thread level", threadObjects(fn), threadObjects(ff), &rep.Threads},
+		{"process level", processObjects(fn), processObjects(ff), &rep.Processes},
 	}
-	rep.Threads = threads
-
-	procs, err := diffLevel(processObjects(fn), processObjects(ff), cfg, table)
-	if err != nil {
-		return nil, fmt.Errorf("core: process level: %w", err)
+	for _, lv := range levels {
+		if !cfg.Resilient {
+			level, _, err := diffLevel(lv.n, lv.f, cfg, table, lv.stage)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: %w", lv.stage, err)
+			}
+			*lv.dst = level
+			continue
+		}
+		// Resilient: a panic or error anywhere in this level degrades it
+		// to an empty placeholder instead of aborting the run.
+		var (
+			level *Level
+			errs  []*resilience.StageError
+		)
+		serr := resilience.Guard(lv.stage, "", func() error {
+			var err error
+			level, errs, err = diffLevel(lv.n, lv.f, cfg, table, lv.stage)
+			return err
+		})
+		rep.Degraded = append(rep.Degraded, errs...)
+		if serr != nil {
+			rep.Degraded = append(rep.Degraded, serr)
+			level = emptyLevel()
+		}
+		*lv.dst = level
 	}
-	rep.Processes = procs
 	return rep, nil
+}
+
+// emptyLevel is the placeholder for a level that failed wholesale in a
+// Resilient run: renderable (non-nil analyses, empty matrices), with no
+// suspects.
+func emptyLevel() *Level {
+	empty := func() *Analysis {
+		return &Analysis{
+			NLR:     map[string][]nlr.Element{},
+			Attrs:   map[string]fca.AttrSet{},
+			JSM:     jaccard.New(nil),
+			Linkage: &cluster.Linkage{},
+		}
+	}
+	return &Level{Normal: empty(), Faulty: empty(), JSMD: jaccard.New(nil)}
 }
 
 // object is a named filtered trace.
@@ -172,36 +229,80 @@ func union(a, b []object) ([]object, []object) {
 	return fill(a, regA), fill(b, regB)
 }
 
-// analyze summarizes, attributes, and clusters one execution's objects.
-func analyze(objs []object, cfg Config, table *nlr.Table) (*Analysis, error) {
-	a := &Analysis{
-		NLR:   make(map[string][]nlr.Element, len(objs)),
-		Attrs: make(map[string]fca.AttrSet, len(objs)),
-	}
+// summarize runs the NLR + attribute passes over one execution's objects.
+// In a Resilient run each object is guarded individually: a panic or error
+// while summarizing one object records a StageError and skips it, leaving
+// the other objects intact. Returns the surviving NLR and attribute maps.
+func summarize(objs []object, cfg Config, table *nlr.Table, stage string) (map[string][]nlr.Element, map[string]fca.AttrSet, []*resilience.StageError) {
+	nlrs := make(map[string][]nlr.Element, len(objs))
+	attrs := make(map[string]fca.AttrSet, len(objs))
+	var errs []*resilience.StageError
+	skipped := map[string]bool{}
+
 	// Two passes so that loops discovered in later traces fold in earlier
 	// ones (the shared-loop-table heuristic; see nlr.SummarizeSet).
-	for _, o := range objs {
+	seed := func(o object) error {
+		if testStageHook != nil {
+			testStageHook(stage+"/nlr", o.name)
+		}
 		nlr.SummarizeTrace(o.tr, o.reg, cfg.Filter.K, table)
+		return nil
 	}
-	for _, o := range objs {
+	extract := func(o object) error {
+		if testStageHook != nil {
+			testStageHook(stage+"/attr", o.name)
+		}
 		elems := nlr.SummarizeTrace(o.tr, o.reg, cfg.Filter.K, table)
-		a.NLR[o.name] = elems
+		nlrs[o.name] = elems
 		if cfg.Attr.Kind == attr.Context {
 			// Caller→callee attributes come from the raw enter/exit
 			// nesting, not the NLR sequence.
-			a.Attrs[o.name] = attr.ExtractContext(o.tr, o.reg, cfg.Attr.Freq)
+			attrs[o.name] = attr.ExtractContext(o.tr, o.reg, cfg.Attr.Freq)
 		} else {
-			a.Attrs[o.name] = attr.Extract(elems, cfg.Attr)
+			attrs[o.name] = attr.Extract(elems, cfg.Attr)
+		}
+		return nil
+	}
+	for _, pass := range []struct {
+		name string
+		fn   func(object) error
+	}{{"nlr", seed}, {"attr", extract}} {
+		for _, o := range objs {
+			o := o
+			if !cfg.Resilient {
+				pass.fn(o) //nolint:errcheck // both passes only signal via panic
+				continue
+			}
+			if skipped[o.name] {
+				continue
+			}
+			if serr := resilience.Guard(stage+"/"+pass.name, o.name, func() error {
+				return pass.fn(o)
+			}); serr != nil {
+				errs = append(errs, serr)
+				skipped[o.name] = true
+				delete(nlrs, o.name)
+				delete(attrs, o.name)
+			}
 		}
 	}
+	return nlrs, attrs, errs
+}
+
+// buildAnalysis assembles the lattice/JSM/linkage for one execution from the
+// objects that survived summarization.
+func buildAnalysis(objs []object, nlrs map[string][]nlr.Element, attrs map[string]fca.AttrSet, cfg Config) (*Analysis, error) {
+	a := &Analysis{NLR: nlrs, Attrs: attrs}
 	if cfg.BuildLattices {
 		a.Lattice = fca.NewLattice()
 		for _, o := range objs {
-			a.Lattice.AddObject(o.name, a.Attrs[o.name])
+			if at, ok := attrs[o.name]; ok {
+				a.Lattice.AddObject(o.name, at)
+			}
 		}
 		a.JSM = jaccard.FromLattice(a.Lattice)
 	} else {
-		a.JSM = jaccard.New(a.Attrs)
+		a.JSM = jaccard.New(attrs)
 	}
 	lk, err := cluster.Build(a.JSM.Distance(), cfg.Linkage)
 	if err != nil {
@@ -211,24 +312,39 @@ func analyze(objs []object, cfg Config, table *nlr.Table) (*Analysis, error) {
 	return a, nil
 }
 
-// diffLevel runs both analyses and the comparison at one granularity.
-func diffLevel(nObjs, fObjs []object, cfg Config, table *nlr.Table) (*Level, error) {
-	nObjs, fObjs = union(nObjs, fObjs)
-	normal, err := analyze(nObjs, cfg, table)
-	if err != nil {
-		return nil, err
+// diffLevel runs both analyses and the comparison at one granularity. The
+// returned StageErrors (Resilient runs only) list objects that were skipped.
+func diffLevel(nObjs, fObjs []object, cfg Config, table *nlr.Table, stage string) (*Level, []*resilience.StageError, error) {
+	if testStageHook != nil {
+		testStageHook(stage, "")
 	}
-	faulty, err := analyze(fObjs, cfg, table)
+	nObjs, fObjs = union(nObjs, fObjs)
+	nNLR, nAttrs, errs := summarize(nObjs, cfg, table, stage+"/normal")
+	fNLR, fAttrs, fErrs := summarize(fObjs, cfg, table, stage+"/faulty")
+	errs = append(errs, fErrs...)
+	// An object skipped on either side must leave both, so the two JSMs
+	// keep identical name sets and jaccard.Diff/BScore stay well-defined.
+	for _, e := range errs {
+		delete(nNLR, e.Object)
+		delete(nAttrs, e.Object)
+		delete(fNLR, e.Object)
+		delete(fAttrs, e.Object)
+	}
+	normal, err := buildAnalysis(nObjs, nNLR, nAttrs, cfg)
 	if err != nil {
-		return nil, err
+		return nil, errs, err
+	}
+	faulty, err := buildAnalysis(fObjs, fNLR, fAttrs, cfg)
+	if err != nil {
+		return nil, errs, err
 	}
 	jsmd, err := jaccard.Diff(faulty.JSM, normal.JSM)
 	if err != nil {
-		return nil, err
+		return nil, errs, err
 	}
 	b, err := bscore.BScore(normal.Linkage, faulty.Linkage)
 	if err != nil {
-		return nil, err
+		return nil, errs, err
 	}
 	return &Level{
 		Normal:   normal,
@@ -236,7 +352,7 @@ func diffLevel(nObjs, fObjs []object, cfg Config, table *nlr.Table) (*Level, err
 		JSMD:     jsmd,
 		BScore:   b,
 		Suspects: jsmd.Suspects(),
-	}, nil
+	}, errs, nil
 }
 
 // DiffNLR renders the diffNLR(x) view for an object of the given level

@@ -244,12 +244,14 @@ type Rank struct {
 	seq  map[string]int // per-collective-kind call counter
 }
 
-// NewRank attaches rank i (0-based) with an optional tracer thread.
-func (w *World) NewRank(i int, th *parlot.ThreadTracer) *Rank {
+// NewRank attaches rank i (0-based) with an optional tracer thread. An
+// out-of-range rank is a caller bug, reported as an error rather than a
+// panic so harnesses embedding the simulated runtime degrade gracefully.
+func (w *World) NewRank(i int, th *parlot.ThreadTracer) (*Rank, error) {
 	if i < 0 || i >= w.n {
-		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", i, w.n))
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", i, w.n)
 	}
-	return &Rank{w: w, rank: i, th: th, seq: make(map[string]int)}
+	return &Rank{w: w, rank: i, th: th, seq: make(map[string]int)}, nil
 }
 
 // enter/exit trace helpers; exitErr suppresses the return event when the
@@ -723,7 +725,15 @@ func (w *World) Run(tracer *parlot.Tracer, body func(r *Rank) error) error {
 			if tracer != nil {
 				th = tracer.Thread(trace.TID(rankNo, 0))
 			}
-			r := w.NewRank(rankNo, th)
+			r, err := w.NewRank(rankNo, th)
+			if err != nil {
+				errs[rankNo] = err
+				w.mu.Lock()
+				w.finished++
+				w.cond.Broadcast()
+				w.mu.Unlock()
+				return
+			}
 			errs[rankNo] = body(r)
 			w.mu.Lock()
 			w.finished++

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 
+	"difftrace/internal/resilience"
 	"difftrace/internal/trace"
 )
 
@@ -123,85 +124,167 @@ func (w *byteSliceWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// ReadSetBinary parses the binary format, interning names into reg (nil for
-// a fresh registry).
+// ReadSetBinary parses the binary format strictly, interning names into reg
+// (nil for a fresh registry). Use ReadSetBinaryOptions for lenient salvage
+// of damaged files.
 func ReadSetBinary(r io.Reader, reg *trace.Registry) (*trace.TraceSet, error) {
+	set, _, err := ReadSetBinaryOptions(r, reg, trace.ReadOptions{})
+	return set, err
+}
+
+// ReadSetBinaryOptions parses the binary format under opts.
+//
+// In Lenient mode damage degrades instead of failing: a short or corrupt
+// compressed stream keeps the symbols decoded before the failure (the trace
+// is marked Truncated), the per-trace length framing lets the reader resync
+// on the next trace after a corrupt stream, events referencing unknown
+// name-table entries are dropped individually, and header-level damage
+// (bad magic, implausible counts, a file that ends mid-table) quarantines
+// the rest of the file while keeping every trace already decoded. All
+// decisions are recorded in the returned IngestReport, which upholds
+// set.TotalEvents() == EventsKept + EventsSynthesized. A lenient read
+// returns a nil error for any input.
+func ReadSetBinaryOptions(r io.Reader, reg *trace.Registry, opts trace.ReadOptions) (*trace.TraceSet, *resilience.IngestReport, error) {
 	if reg == nil {
 		reg = trace.NewRegistry()
 	}
+	lenient := opts.Mode == trace.Lenient
+	rep := resilience.NewIngestReport(lenient)
+	set := trace.NewTraceSetWith(reg)
+
+	// fail aborts a strict read; in lenient mode it quarantines the rest of
+	// the file under id and reports success with whatever was salvaged.
+	var failed bool
+	fail := func(id string, reason resilience.Reason, err error) error {
+		if !lenient {
+			return err
+		}
+		rep.Quarantine(id, reason)
+		failed = true
+		return nil
+	}
+
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("parlot: reading magic: %w", err)
+		return set, rep, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: reading magic: %w", err))
 	}
 	if string(magic) != fileMagic {
-		return nil, fmt.Errorf("parlot: bad magic %q", magic)
+		return set, rep, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: bad magic %q", magic))
 	}
 
 	numNames, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("parlot: name count: %w", err)
+		return set, rep, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: name count: %w", err))
 	}
 	if numNames > 1<<24 {
-		return nil, fmt.Errorf("parlot: implausible name count %d", numNames)
+		return set, rep, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: implausible name count %d", numNames))
 	}
 	fileToReg := make([]uint32, numNames)
 	for i := range fileToReg {
 		n, err := binary.ReadUvarint(br)
 		if err != nil || n > 1<<20 {
-			return nil, fmt.Errorf("parlot: name %d length: %w", i, err)
+			return set, rep, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: name %d length: %w", i, err))
 		}
 		nameBytes := make([]byte, n)
 		if _, err := io.ReadFull(br, nameBytes); err != nil {
-			return nil, fmt.Errorf("parlot: name %d: %w", i, err)
+			return set, rep, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: name %d: %w", i, err))
 		}
 		fileToReg[i] = reg.ID(string(nameBytes))
 	}
 
 	numTraces, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("parlot: trace count: %w", err)
+		return set, rep, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: trace count: %w", err))
 	}
 	if numTraces > 1<<20 {
-		return nil, fmt.Errorf("parlot: implausible trace count %d", numTraces)
+		return set, rep, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: implausible trace count %d", numTraces))
 	}
-	set := trace.NewTraceSetWith(reg)
-	for t := uint64(0); t < numTraces; t++ {
+	for t := uint64(0); t < numTraces && !failed; t++ {
+		recID := fmt.Sprintf("#%d", t) // until the header names the trace
 		proc, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("parlot: trace %d process: %w", t, err)
+			return set, rep, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d process: %w", t, err))
 		}
 		thr, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("parlot: trace %d thread: %w", t, err)
+			return set, rep, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d thread: %w", t, err))
 		}
+		id := trace.TID(int(proc), int(thr))
+		recID = id.String()
 		trunc, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("parlot: trace %d flags: %w", t, err)
+			return set, rep, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d flags: %w", t, err))
 		}
 		clen, err := binary.ReadUvarint(br)
 		if err != nil || clen > 1<<30 {
-			return nil, fmt.Errorf("parlot: trace %d stream length: %w", t, err)
+			return set, rep, fail(recID, resilience.CorruptStream, fmt.Errorf("parlot: trace %d stream length: %w", t, err))
+		}
+		if opts.MaxTraces > 0 && set.Traces[id] == nil && len(set.Traces) >= opts.MaxTraces {
+			if !lenient {
+				return nil, rep, fmt.Errorf("parlot: trace %d (%s) exceeds MaxTraces=%d", t, id, opts.MaxTraces)
+			}
+			rep.Quarantine(recID, resilience.TraceCap)
+			if _, err := io.CopyN(io.Discard, br, int64(clen)); err != nil {
+				rep.Quarantine(recID, resilience.TruncatedStream)
+				failed = true
+			}
+			continue
 		}
 		comp := make([]byte, clen)
-		if _, err := io.ReadFull(br, comp); err != nil {
-			return nil, fmt.Errorf("parlot: trace %d stream: %w", t, err)
+		short := false
+		if n, err := io.ReadFull(br, comp); err != nil {
+			if !lenient {
+				return nil, rep, fmt.Errorf("parlot: trace %d stream: %w", t, err)
+			}
+			// The file ends mid-stream: decode the prefix that arrived.
+			comp, short, failed = comp[:n], true, true
+			rep.Drop(recID, resilience.TruncatedStream, 1)
 		}
 		syms, err := NewDecoder(&sliceByteReader{b: comp}).DecodeAll()
 		if err != nil {
-			return nil, fmt.Errorf("parlot: trace %d decompress: %w", t, err)
+			if !lenient {
+				return nil, rep, fmt.Errorf("parlot: trace %d decompress: %w", t, err)
+			}
+			// Keep the symbols decoded before the corruption; the length
+			// framing lets the next trace decode normally.
+			if !short {
+				rep.Drop(recID, resilience.CorruptStream, 1)
+			}
 		}
-		tr := set.Get(trace.TID(int(proc), int(thr)))
-		tr.Truncated = trunc != 0
+		tr := set.Get(id)
+		tr.Truncated = trunc != 0 || (lenient && (short || err != nil))
 		for _, s := range syms {
 			fileID := s >> 1
 			if int(fileID) >= len(fileToReg) {
-				return nil, fmt.Errorf("parlot: trace %d references unknown name %d", t, fileID)
+				if !lenient {
+					return nil, rep, fmt.Errorf("parlot: trace %d references unknown name %d", t, fileID)
+				}
+				rep.Drop(recID, resilience.UnknownName, 1)
+				tr.Truncated = true
+				continue
+			}
+			if opts.MaxEventsPerTrace > 0 && tr.Len() >= opts.MaxEventsPerTrace {
+				if !lenient {
+					return nil, rep, fmt.Errorf("parlot: trace %d (%s) exceeds MaxEventsPerTrace=%d", t, id, opts.MaxEventsPerTrace)
+				}
+				rep.Drop(recID, resilience.EventCap, 1)
+				tr.Truncated = true
+				continue
 			}
 			tr.Append(fileToReg[fileID], trace.EventKind(s&1))
+			rep.Keep(1)
 		}
 	}
-	return set, nil
+	// Backfill per-trace kept counts for the salvage records.
+	for _, rec := range rep.Records() {
+		if id, err := trace.ParseThreadID(rec.ID); err == nil {
+			if tr, ok := set.Traces[id]; ok {
+				rec.Kept = tr.Len()
+			}
+		}
+	}
+	return set, rep, nil
 }
 
 // sliceByteReader is an allocation-free io.ByteReader over a slice.

@@ -3,6 +3,8 @@ package parlot
 import (
 	"bytes"
 	"testing"
+
+	"difftrace/internal/trace"
 )
 
 // FuzzCompressRoundTrip: any symbol stream round-trips exactly.
@@ -47,16 +49,47 @@ func FuzzDecoderRobust(f *testing.F) {
 	})
 }
 
-// FuzzReadSetBinary: arbitrary bytes never panic the binary reader.
+// FuzzReadSetBinary: arbitrary bytes never panic the strict binary reader,
+// and the lenient reader never returns an error while accounting for every
+// event it keeps (set.TotalEvents() == kept + synthesized).
 func FuzzReadSetBinary(f *testing.F) {
 	s := buildSet("a", "b")
 	var buf bytes.Buffer
 	if err := WriteSetBinary(&buf, s); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	good := buf.Bytes()
+	f.Add(good)
 	f.Add([]byte("PLOT1"))
+	// Corrupt seeds: truncations at several depths, flipped bytes in the
+	// name table and in a compressed stream, oversized counts.
+	f.Add(good[:len(good)/2])
+	f.Add(good[:len(good)-2])
+	if len(good) > 8 {
+		flipped := append([]byte(nil), good...)
+		flipped[6] ^= 0xff // inside the name table
+		f.Add(flipped)
+		flipped2 := append([]byte(nil), good...)
+		flipped2[len(good)-3] ^= 0xff // inside the last stream
+		f.Add(flipped2)
+	}
+	f.Add([]byte("PLOT1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")) // huge name count
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = ReadSetBinary(bytes.NewReader(data), nil)
+
+		set, rep, err := ReadSetBinaryOptions(bytes.NewReader(data), nil, trace.ReadOptions{Mode: trace.Lenient})
+		if err != nil {
+			t.Fatalf("lenient mode returned error: %v", err)
+		}
+		if got, want := set.TotalEvents(), rep.EventsKept+rep.EventsSynthesized; got != want {
+			t.Fatalf("accounting: TotalEvents %d != kept %d + synthesized %d",
+				got, rep.EventsKept, rep.EventsSynthesized)
+		}
+		// Bounded lenient reads must also never error.
+		if _, _, err := ReadSetBinaryOptions(bytes.NewReader(data), nil, trace.ReadOptions{
+			Mode: trace.Lenient, MaxEventsPerTrace: 8, MaxTraces: 4,
+		}); err != nil {
+			t.Fatalf("bounded lenient mode returned error: %v", err)
+		}
 	})
 }

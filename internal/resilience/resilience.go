@@ -1,0 +1,301 @@
+// Package resilience is the degradation-tolerance vocabulary shared by the
+// ingestion layer (trace, parlot) and the analysis pipeline (core): reason
+// codes for salvage decisions, the structured IngestReport that accounts for
+// every kept/dropped/synthesized event, StageError for isolated per-stage
+// failures, and Guard, which converts panics in a pipeline stage into
+// recorded errors instead of killing the whole analysis.
+//
+// DiffTrace's inputs come from *faulty* runs — crashed ranks, deadlocked
+// threads, ParLOT streams aborted mid-write — so damaged input is the
+// expected case, not the exception. The contract this package supports:
+//
+//   - Lenient readers never fail the whole set because one trace is damaged;
+//     they quarantine the damage, keep what is salvageable, and record every
+//     decision here so nothing is lost silently.
+//   - set.TotalEvents() == report.EventsKept + report.EventsSynthesized
+//     always holds after a lenient read (the accounting invariant the chaos
+//     harness and fuzz tests pin down).
+//
+// The package depends only on the standard library so that every layer can
+// import it without cycles.
+package resilience
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Reason codes one class of salvage decision. Codes are stable strings so
+// they can be rendered, grepped, and asserted on in tests.
+type Reason string
+
+const (
+	// BadHeader: a "# trace" header line failed to parse; events that
+	// follow are quarantined until the next valid header.
+	BadHeader Reason = "bad-header"
+	// OrphanEvent: an event or "truncated" marker appeared before any
+	// header, so it has no trace to belong to.
+	OrphanEvent Reason = "orphan-event"
+	// MalformedEvent: an event line without the "kind name" shape.
+	MalformedEvent Reason = "malformed-event"
+	// UnknownKind: an event line whose kind is neither "call" nor "ret".
+	UnknownKind Reason = "unknown-kind"
+	// LineTooLong: a line exceeded ReadOptions.MaxLineBytes and was
+	// discarded without buffering it whole.
+	LineTooLong Reason = "line-too-long"
+	// UnbalancedRet: a "ret" with no matching open "call" (lenient mode
+	// drops it; the nesting-sensitive stages would misattribute it).
+	UnbalancedRet Reason = "unbalanced-ret"
+	// AutoClosedCall: a synthetic "ret" appended to re-balance the call
+	// stack of a corruption-affected trace.
+	AutoClosedCall Reason = "auto-closed-call"
+	// EventCap: events beyond ReadOptions.MaxEventsPerTrace.
+	EventCap Reason = "event-cap"
+	// TraceCap: whole traces beyond ReadOptions.MaxTraces.
+	TraceCap Reason = "trace-cap"
+	// TruncatedStream: the input ended (or failed) mid-record; the partial
+	// prefix was kept.
+	TruncatedStream Reason = "truncated-stream"
+	// CorruptStream: a compressed event stream failed to decode; the
+	// symbols decoded before the failure were kept.
+	CorruptStream Reason = "corrupt-stream"
+	// UnknownName: a binary event referenced a name-table entry that does
+	// not exist.
+	UnknownName Reason = "unknown-name"
+)
+
+// TraceRecord is the per-trace account of one lenient read: how many events
+// survived, how many were dropped or synthesized and why, and whether the
+// trace was quarantined wholesale.
+type TraceRecord struct {
+	// ID is the trace's "p.t" thread ID, or "?" for damage that could not
+	// be attributed to any trace (garbage before the first header, a
+	// header too mangled to name a trace).
+	ID string
+	// Kept is the number of input events that survived into the trace.
+	Kept int
+	// Dropped counts dropped items (events, lines, or stream remainders).
+	Dropped int
+	// Synthesized counts events invented to repair the trace (auto-closed
+	// calls).
+	Synthesized int
+	// Quarantined is true when the whole trace (or an unattributable run
+	// of events) was discarded rather than salvaged.
+	Quarantined bool
+	// Reasons tallies the salvage decisions by reason code.
+	Reasons map[Reason]int
+}
+
+func (t *TraceRecord) note(r Reason, n int) {
+	if t.Reasons == nil {
+		t.Reasons = make(map[Reason]int)
+	}
+	t.Reasons[r] += n
+}
+
+// reasonSummary renders "reason×n" pairs in deterministic order.
+func (t *TraceRecord) reasonSummary() string {
+	keys := make([]string, 0, len(t.Reasons))
+	for r := range t.Reasons {
+		keys = append(keys, string(r))
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s×%d", k, t.Reasons[Reason(k)])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// IngestReport is the structured account of one read: global event totals
+// plus a record for every trace that needed salvaging. A clean read keeps
+// its totals but has no per-trace records.
+type IngestReport struct {
+	// Source labels the input (a file path, "normal", "faulty", ...).
+	Source string
+	// Lenient records which mode produced the report.
+	Lenient bool
+	// EventsKept counts input events that made it into the TraceSet.
+	EventsKept int
+	// EventsDropped counts dropped items (events, garbage lines, stream
+	// remainders) across all records.
+	EventsDropped int
+	// EventsSynthesized counts repair events added across all records.
+	EventsSynthesized int
+
+	records map[string]*TraceRecord
+	order   []string
+}
+
+// NewIngestReport returns an empty report.
+func NewIngestReport(lenient bool) *IngestReport {
+	return &IngestReport{Lenient: lenient}
+}
+
+// Keep counts n input events that survived into the set.
+func (r *IngestReport) Keep(n int) {
+	if r != nil {
+		r.EventsKept += n
+	}
+}
+
+// Trace returns the record for id, creating it on first use (first-seen
+// order is preserved for rendering).
+func (r *IngestReport) Trace(id string) *TraceRecord {
+	if r.records == nil {
+		r.records = make(map[string]*TraceRecord)
+	}
+	rec, ok := r.records[id]
+	if !ok {
+		rec = &TraceRecord{ID: id}
+		r.records[id] = rec
+		r.order = append(r.order, id)
+	}
+	return rec
+}
+
+// Drop records n dropped items against trace id for the given reason.
+func (r *IngestReport) Drop(id string, reason Reason, n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	rec := r.Trace(id)
+	rec.Dropped += n
+	rec.note(reason, n)
+	r.EventsDropped += n
+}
+
+// Synthesize records n repair events appended to trace id.
+func (r *IngestReport) Synthesize(id string, reason Reason, n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	rec := r.Trace(id)
+	rec.Synthesized += n
+	rec.note(reason, n)
+	r.EventsSynthesized += n
+}
+
+// Quarantine marks trace id as discarded wholesale for the given reason.
+func (r *IngestReport) Quarantine(id string, reason Reason) {
+	if r == nil {
+		return
+	}
+	rec := r.Trace(id)
+	rec.Quarantined = true
+	rec.note(reason, 1)
+}
+
+// Records returns the per-trace salvage records in first-seen order.
+func (r *IngestReport) Records() []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	out := make([]*TraceRecord, len(r.order))
+	for i, id := range r.order {
+		out[i] = r.records[id]
+	}
+	return out
+}
+
+// Record returns the record for id, or nil if the trace needed no salvage.
+func (r *IngestReport) Record(id string) *TraceRecord {
+	if r == nil {
+		return nil
+	}
+	return r.records[id]
+}
+
+// Clean reports whether the read needed no salvage at all: nothing dropped,
+// nothing synthesized, nothing quarantined.
+func (r *IngestReport) Clean() bool {
+	return r == nil || len(r.records) == 0
+}
+
+// Quarantined counts records discarded wholesale.
+func (r *IngestReport) Quarantined() int {
+	n := 0
+	for _, rec := range r.records {
+		if rec.Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary renders the one-line verdict ("clean — 421503 events" or
+// "salvaged: kept 421490, dropped 13 (3 traces affected)").
+func (r *IngestReport) Summary() string {
+	if r == nil {
+		return "clean"
+	}
+	src := ""
+	if r.Source != "" {
+		src = r.Source + ": "
+	}
+	if r.Clean() {
+		return fmt.Sprintf("%sclean — %d events", src, r.EventsKept)
+	}
+	return fmt.Sprintf("%ssalvaged: kept %d, dropped %d, synthesized %d (%d traces affected, %d quarantined)",
+		src, r.EventsKept, r.EventsDropped, r.EventsSynthesized, len(r.records), r.Quarantined())
+}
+
+// Render renders the full multi-line report: the summary plus one line per
+// affected trace with its reason tallies.
+func (r *IngestReport) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Summary())
+	b.WriteByte('\n')
+	if r == nil {
+		return b.String()
+	}
+	for _, rec := range r.Records() {
+		state := ""
+		if rec.Quarantined {
+			state = " [quarantined]"
+		}
+		fmt.Fprintf(&b, "  trace %-8s kept %d, dropped %d, synthesized %d%s (%s)\n",
+			rec.ID, rec.Kept, rec.Dropped, rec.Synthesized, state, rec.reasonSummary())
+	}
+	return b.String()
+}
+
+// StageError records an isolated failure of one pipeline stage on one
+// object: the rest of the analysis proceeded without it.
+type StageError struct {
+	// Stage names the pipeline stage ("thread level", "nlr", ...).
+	Stage string
+	// Object names the trace/object the stage failed on ("" when the
+	// failure was not attributable to a single object).
+	Object string
+	// Err is the underlying error (a recovered panic is wrapped as one).
+	Err error
+}
+
+// Error implements error.
+func (e *StageError) Error() string {
+	if e.Object != "" {
+		return fmt.Sprintf("resilience: stage %q on %q: %v", e.Stage, e.Object, e.Err)
+	}
+	return fmt.Sprintf("resilience: stage %q: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Guard runs fn, converting a returned error or a panic into a StageError.
+// It returns nil when fn succeeds. The pipeline uses it so that one
+// pathological trace (an NLR blow-up, a degenerate matrix) is skipped with a
+// recorded StageError while the remaining traces still produce a ranking.
+func Guard(stage, object string, fn func() error) (serr *StageError) {
+	defer func() {
+		if p := recover(); p != nil {
+			serr = &StageError{Stage: stage, Object: object, Err: fmt.Errorf("panic: %v", p)}
+		}
+	}()
+	if err := fn(); err != nil {
+		return &StageError{Stage: stage, Object: object, Err: err}
+	}
+	return nil
+}

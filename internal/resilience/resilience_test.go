@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestIngestReportAccounting(t *testing.T) {
+	r := NewIngestReport(true)
+	r.Keep(10)
+	r.Drop("5.0", MalformedEvent, 3)
+	r.Drop("5.0", LineTooLong, 1)
+	r.Synthesize("5.0", AutoClosedCall, 2)
+	r.Drop("?", OrphanEvent, 4)
+	r.Quarantine("?", BadHeader)
+
+	if r.EventsKept != 10 || r.EventsDropped != 8 || r.EventsSynthesized != 2 {
+		t.Errorf("totals = kept %d, dropped %d, synth %d", r.EventsKept, r.EventsDropped, r.EventsSynthesized)
+	}
+	if r.Clean() {
+		t.Error("report with drops must not be Clean")
+	}
+	if r.Quarantined() != 1 {
+		t.Errorf("Quarantined = %d", r.Quarantined())
+	}
+	recs := r.Records()
+	if len(recs) != 2 || recs[0].ID != "5.0" || recs[1].ID != "?" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].Dropped != 4 || recs[0].Synthesized != 2 {
+		t.Errorf("5.0 record = %+v", recs[0])
+	}
+	if recs[0].Reasons[MalformedEvent] != 3 {
+		t.Errorf("reason tally = %v", recs[0].Reasons)
+	}
+}
+
+func TestIngestReportClean(t *testing.T) {
+	r := NewIngestReport(false)
+	r.Keep(42)
+	if !r.Clean() {
+		t.Error("keep-only report should be Clean")
+	}
+	if !strings.Contains(r.Summary(), "clean — 42 events") {
+		t.Errorf("Summary = %q", r.Summary())
+	}
+	// Zero-count drops are no-ops and must not create records.
+	r.Drop("1.0", MalformedEvent, 0)
+	if !r.Clean() {
+		t.Error("zero drop created a record")
+	}
+}
+
+func TestIngestReportNilSafe(t *testing.T) {
+	var r *IngestReport
+	r.Keep(1)
+	r.Drop("x", MalformedEvent, 1)
+	r.Synthesize("x", AutoClosedCall, 1)
+	r.Quarantine("x", BadHeader)
+	if !r.Clean() || r.Summary() != "clean" || r.Record("x") != nil {
+		t.Error("nil report methods must be safe no-ops")
+	}
+}
+
+func TestIngestReportRender(t *testing.T) {
+	r := NewIngestReport(true)
+	r.Source = "faulty.trace"
+	r.Keep(5)
+	r.Drop("2.1", UnknownKind, 2)
+	out := r.Render()
+	for _, want := range []string{"faulty.trace", "trace 2.1", "unknown-kind×2", "dropped 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGuardPassThrough(t *testing.T) {
+	if err := Guard("s", "o", func() error { return nil }); err != nil {
+		t.Errorf("Guard on success = %v", err)
+	}
+}
+
+func TestGuardError(t *testing.T) {
+	base := errors.New("boom")
+	serr := Guard("cluster", "5.0", func() error { return base })
+	if serr == nil || !errors.Is(serr, base) {
+		t.Fatalf("Guard error = %v", serr)
+	}
+	if !strings.Contains(serr.Error(), "cluster") || !strings.Contains(serr.Error(), "5.0") {
+		t.Errorf("StageError message = %q", serr.Error())
+	}
+}
+
+func TestGuardPanic(t *testing.T) {
+	serr := Guard("nlr", "", func() error { panic("index out of range") })
+	if serr == nil || !strings.Contains(serr.Error(), "panic: index out of range") {
+		t.Fatalf("Guard panic = %v", serr)
+	}
+}
