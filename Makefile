@@ -1,8 +1,9 @@
 # Development targets. `make check` is the full gate: vet, build, the race
-# suite, and a replay of the corrupt-input fuzz seed corpora.
+# suite, the parallel-determinism differential suite, and a replay of the
+# corrupt-input fuzz seed corpora.
 GO ?= go
 
-.PHONY: all build vet test race fuzz-seeds fuzz check
+.PHONY: all build vet test race determinism bench fuzz-seeds fuzz check
 
 all: build
 
@@ -21,6 +22,25 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# Differential suite for the intra-run worker pool: every parallel path
+# must produce the byte-identical report of the sequential one, under the
+# race detector, twice (-count=2 defeats test caching and catches
+# order-dependent state). -short skips the slowest workload replays, same
+# as the race target.
+determinism:
+	$(GO) test -race -short -count=2 \
+		-run 'Determinism|Workers|ParallelMatchesSequential|Ghost' \
+		./internal/core ./internal/jaccard ./internal/rank \
+		./internal/experiments ./internal/resilience/chaos
+
+# Worker-sweep benchmarks; regenerates the BENCH_parallel.json baseline.
+# On a single-CPU host the sweep measures overhead, not speedup (the JSON
+# notes which); on multicore expect >=2x at workers=4.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel_DiffRun|BenchmarkFig4_JSM' \
+		-benchmem -benchtime=3x . | tee /dev/stderr | $(GO) run ./cmd/benchjson \
+		> BENCH_parallel.json
+
 # Replay the checked-in fuzz seeds (corrupt/truncated trace corpora) as
 # regular tests — no fuzzing engine, deterministic, fast.
 fuzz-seeds:
@@ -31,4 +51,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadSetText -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzReadSetBinary -fuzztime=30s ./internal/parlot
 
-check: vet build test race fuzz-seeds
+check: vet build test race determinism fuzz-seeds

@@ -50,6 +50,8 @@ var (
 	ilcsPairs   map[string]tracePair
 	onceLULESH  sync.Once
 	luleshPair  tracePair
+	onceSynth   sync.Once
+	synthPair   tracePair
 )
 
 func oddEvenSets(b *testing.B) tracePair {
@@ -113,6 +115,45 @@ func luleshSets(b *testing.B) tracePair {
 	return luleshPair
 }
 
+// synthSets builds the LULESH-scale synthetic pair: 8 processes × 11
+// threads per side (the §V geometry) of loop-nest traces with per-thread
+// noise seeds. The faulty side perturbs process 5 — longer second loop,
+// noisier bodies, and one truncated thread — so the diff pipeline has real
+// work at both levels.
+func synthSets(b *testing.B) tracePair {
+	b.Helper()
+	onceSynth.Do(func() {
+		reg := trace.NewRegistry()
+		build := func(faulty bool) *trace.TraceSet {
+			set := trace.NewTraceSetWith(reg)
+			for p := 0; p < 8; p++ {
+				for t := 0; t < 11; t++ {
+					cfg := synth.Config{
+						Prologue: 3, Epilogue: 2,
+						Loops: []synth.LoopSpec{
+							{Body: 6, Iterations: 40, Nested: &synth.LoopSpec{Body: 3, Iterations: 8}},
+							{Body: 4, Iterations: 60},
+						},
+						NoiseRate: 0.02, NoisePool: 24,
+						Seed: int64(1000*p + t),
+					}
+					if faulty && p == 5 {
+						cfg.Loops[1].Iterations = 90
+						cfg.NoiseRate = 0.10
+						if t == 3 {
+							cfg.TruncateAfter = 400
+						}
+					}
+					synth.Generate(set, trace.TID(p, t), cfg)
+				}
+			}
+			return set
+		}
+		synthPair = tracePair{normal: build(false), faulty: build(true)}
+	})
+	return synthPair
+}
+
 // ---- per-table / per-figure benchmarks ----------------------------------
 
 // BenchmarkTableII_TraceCollection times the Table II workload end to end:
@@ -162,21 +203,68 @@ func BenchmarkFig3_Lattice(b *testing.B) {
 	}
 }
 
-// BenchmarkFig4_JSM times the pairwise Jaccard matrix of Figure 4.
+// BenchmarkFig4_JSM times the pairwise Jaccard matrix of Figure 4: the
+// paper's 16-rank odd/even context, plus a worker sweep over the
+// LULESH-scale synthetic context (88 objects) exercising the row-block
+// parallel construction.
 func BenchmarkFig4_JSM(b *testing.B) {
-	pair := oddEvenSets(b)
-	set := filter.New(filter.MPIAll).ApplySet(pair.normal)
-	sums := nlr.SummarizeSet(set, 10, nlr.NewTable())
-	cfg := attr.Config{Kind: attr.Single, Freq: attr.NoFreq}
-	attrs := map[string]fca.AttrSet{}
-	for id, elems := range sums {
-		attrs[id.String()] = attr.Extract(elems, cfg)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if jaccard.New(attrs).Size() == 0 {
-			b.Fatal("empty JSM")
+	buildAttrs := func(set *trace.TraceSet, cfg attr.Config) map[string]fca.AttrSet {
+		sums := nlr.SummarizeSet(set, 10, nlr.NewTable())
+		attrs := map[string]fca.AttrSet{}
+		for id, elems := range sums {
+			attrs[id.String()] = attr.Extract(elems, cfg)
 		}
+		return attrs
+	}
+
+	pair := oddEvenSets(b)
+	attrs := buildAttrs(filter.New(filter.MPIAll).ApplySet(pair.normal),
+		attr.Config{Kind: attr.Single, Freq: attr.NoFreq})
+	b.Run("oddeven16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if jaccard.New(attrs).Size() == 0 {
+				b.Fatal("empty JSM")
+			}
+		}
+	})
+
+	sp := synthSets(b)
+	sattrs := buildAttrs(filter.Everything().ApplySet(sp.normal),
+		attr.Config{Kind: attr.Double, Freq: attr.Actual})
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run("synth88/"+benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if jaccard.NewParallel(sattrs, w).Size() == 0 {
+					b.Fatal("empty JSM")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallel_DiffRun sweeps the intra-run worker budget over the
+// whole pipeline on the LULESH-scale synthetic pair — the headline
+// measurement for the bounded worker pool (paper future-work item 1).
+// Results are byte-identical across the sweep; only the wall clock moves.
+func BenchmarkParallel_DiffRun(b *testing.B) {
+	pair := synthSets(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			cfg := core.Config{
+				Filter:  filter.Everything(),
+				Attr:    attr.Config{Kind: attr.Single, Freq: attr.Actual},
+				Linkage: cluster.Ward,
+				Workers: w,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DiffRun(pair.normal, pair.faulty, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,132 @@
+// benchjson converts `go test -bench` output on stdin into a JSON baseline
+// document on stdout. Worker-sweep benchmarks (sub-benchmarks named
+// "workers=N") additionally get speedup ratios relative to their own
+// workers=1 run, plus the host CPU count — a 1.00x sweep on a single-core
+// host is expected, not a regression, and the JSON says so.
+//
+//	go test -run '^$' -bench Parallel -benchmem . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchLine struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type document struct {
+	GoVersion  string                        `json:"go_version"`
+	GOOS       string                        `json:"goos"`
+	GOARCH     string                        `json:"goarch"`
+	CPU        string                        `json:"cpu,omitempty"`
+	NumCPU     int                           `json:"num_cpu"`
+	Note       string                        `json:"note,omitempty"`
+	Benchmarks []benchLine                   `json:"benchmarks"`
+	Speedup    map[string]map[string]float64 `json:"speedup,omitempty"`
+}
+
+var lineRE = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	doc := document{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := lineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := benchLine{Name: m[1]}
+		b.Iterations, _ = strconv.Atoi(m[2])
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	doc.Speedup = speedups(doc.Benchmarks)
+	if len(doc.Speedup) == 0 {
+		doc.Speedup = nil
+	}
+	if doc.NumCPU == 1 {
+		doc.Note = "single-CPU host: worker sweeps measure overhead, not speedup; " +
+			"expect ratios near 1.00"
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// speedups groups benchmarks by everything before a trailing "workers=N"
+// component and reports ns(workers=1)/ns(workers=N) for each sibling.
+func speedups(benches []benchLine) map[string]map[string]float64 {
+	type entry struct{ workers, ns float64 }
+	groups := map[string][]entry{}
+	for _, b := range benches {
+		i := strings.LastIndex(b.Name, "workers=")
+		if i < 0 {
+			continue
+		}
+		w, err := strconv.ParseFloat(b.Name[i+len("workers="):], 64)
+		if err != nil {
+			continue
+		}
+		key := strings.TrimSuffix(b.Name[:i], "/")
+		groups[key] = append(groups[key], entry{workers: w, ns: b.NsPerOp})
+	}
+	out := map[string]map[string]float64{}
+	for key, es := range groups {
+		var base float64
+		for _, e := range es {
+			if e.workers == 1 {
+				base = e.ns
+			}
+		}
+		if base == 0 {
+			continue
+		}
+		m := map[string]float64{}
+		for _, e := range es {
+			if e.workers != 1 && e.ns > 0 {
+				// Round to two decimals so reruns diff cleanly.
+				m[strconv.Itoa(int(e.workers))] = float64(int(base/e.ns*100+0.5)) / 100
+			}
+		}
+		if len(m) > 0 {
+			out[key] = m
+		}
+	}
+	return out
+}

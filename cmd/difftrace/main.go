@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"difftrace/internal/attr"
@@ -53,6 +54,9 @@ type options struct {
 	// ingestReport always prints the per-trace degradation report, even
 	// for clean reads.
 	ingestReport bool
+	// workers bounds the intra-run (and sweep) parallelism; output is
+	// identical for every value.
+	workers int
 }
 
 func main() {
@@ -72,6 +76,7 @@ func main() {
 	triage := flag.Bool("triage", false, "append the companion analyses: STAT stack classes, AutomaDeD outliers, progress ranking")
 	lenient := flag.Bool("lenient", false, "salvage corrupt/truncated trace files instead of failing, and isolate per-trace pipeline failures")
 	ingestReport := flag.Bool("ingest-report", false, "print the per-trace ingestion/degradation report")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the analysis pipeline (results do not depend on this)")
 	flag.Parse()
 
 	if *normalPath == "" || *faultyPath == "" {
@@ -84,7 +89,7 @@ func main() {
 		custom: *custom, diffTarget: *diffTarget, sweep: *sweep, top: *top,
 		heatmap: *showHeatmap, lattice: *showLattice, color: *color,
 		report: *report, triage: *triage,
-		lenient: *lenient, ingestReport: *ingestReport,
+		lenient: *lenient, ingestReport: *ingestReport, workers: *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "difftrace:", err)
@@ -135,6 +140,7 @@ func run(w io.Writer, o options) error {
 			CustomPatterns: customs,
 			Linkage:        linkage,
 			TopK:           o.top,
+			Workers:        o.workers,
 		})
 		if err != nil {
 			return err
@@ -153,7 +159,7 @@ func run(w io.Writer, o options) error {
 	}
 	rep, err := core.DiffRun(normal, faulty, core.Config{
 		Filter: flt, Attr: ac, Linkage: linkage, BuildLattices: o.lattice,
-		Resilient: o.lenient,
+		Resilient: o.lenient, Workers: o.workers,
 	})
 	if err != nil {
 		return err

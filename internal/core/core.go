@@ -9,10 +9,18 @@
 // under a single parameter combination (filter spec, attribute config,
 // linkage method); the rank package sweeps combinations to build the
 // paper's ranking tables.
+//
+// The pipeline is internally parallel (Config.Workers) yet deterministic:
+// per-object NLR runs on overlay loop tables that are merged at a barrier
+// in canonical object order, the Jaccard matrix is computed in parallel row
+// blocks of identical per-cell arithmetic, and the two granularity levels
+// and two execution sides fan out with a divided worker budget — so the
+// report is byte-identical for every worker count. See DESIGN.md §7.
 package core
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"difftrace/internal/attr"
@@ -23,6 +31,7 @@ import (
 	"difftrace/internal/filter"
 	"difftrace/internal/jaccard"
 	"difftrace/internal/nlr"
+	"difftrace/internal/pool"
 	"difftrace/internal/resilience"
 	"difftrace/internal/trace"
 )
@@ -43,7 +52,15 @@ type Config struct {
 	// the remaining traces still produce a JSM and ranking. Off by
 	// default: errors and panics propagate exactly as before.
 	Resilient bool
+	// Workers bounds the intra-run parallelism: per-object NLR and
+	// attribute extraction, Jaccard row blocks, and the level/side fan-out
+	// all share this budget. 0 means runtime.GOMAXPROCS(0); 1 runs the
+	// whole pipeline inline. Output is identical for every value.
+	Workers int
 }
+
+// workers resolves the Workers knob (0 → GOMAXPROCS).
+func (c Config) workers() int { return pool.Workers(c.Workers) }
 
 // DefaultConfig mirrors the paper's experiment settings: drop returns and
 // PLT, keep MPI calls, K=10, single/noFreq attributes, ward linkage.
@@ -104,6 +121,53 @@ type Report struct {
 // hook to exercise the isolation paths; nil in production.
 var testStageHook func(stage, object string)
 
+func fireStage(stage, object string) {
+	if testStageHook != nil {
+		testStageHook(stage, object)
+	}
+}
+
+// maxRounds caps the NLR fixpoint iteration (see summarizeAll). Real
+// workloads converge in two rounds — the same cost as the historical
+// seed+extract double pass; the cap only guards against pathological
+// parse oscillation.
+const maxRounds = 4
+
+// sideRun is one execution side of one level during the run.
+type sideRun struct {
+	name string // "normal" | "faulty"
+	objs []object
+	// Per-object state, indexed like objs. elems holds the final-round NLR
+	// sequences; failed objects carry their StageError in nlrErrs/attrErrs.
+	elems    [][]nlr.Element
+	attrs    []fca.AttrSet
+	nlrErrs  []*resilience.StageError
+	attrErrs []*resilience.StageError
+}
+
+func newSideRun(name string, objs []object) *sideRun {
+	return &sideRun{
+		name:     name,
+		objs:     objs,
+		elems:    make([][]nlr.Element, len(objs)),
+		attrs:    make([]fca.AttrSet, len(objs)),
+		nlrErrs:  make([]*resilience.StageError, len(objs)),
+		attrErrs: make([]*resilience.StageError, len(objs)),
+	}
+}
+
+// levelRun is the per-level scratch state of one DiffRun.
+type levelRun struct {
+	stage string
+	sides [2]*sideRun // 0 = normal, 1 = faulty
+	// dead marks a level whose entry stage failed (Resilient runs): its
+	// objects are excluded from summarization and it degrades to
+	// emptyLevel.
+	dead  bool
+	err   *resilience.StageError // level-wide failure
+	level *Level
+}
+
 // DiffRun executes the full pipeline for one parameter combination.
 func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 	if cfg.Filter == nil {
@@ -118,42 +182,290 @@ func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 	fn := cfg.Filter.ApplySet(normal)
 	ff := cfg.Filter.ApplySet(faulty)
 
-	levels := []struct {
-		stage string
-		n, f  []object
-		dst   **Level
-	}{
-		{"thread level", threadObjects(fn), threadObjects(ff), &rep.Threads},
-		{"process level", processObjects(fn), processObjects(ff), &rep.Processes},
+	levels := []*levelRun{
+		newLevelRun("thread level", threadObjects(fn), threadObjects(ff)),
+		newLevelRun("process level", processObjects(fn), processObjects(ff)),
 	}
+
+	// Level entry: historically the first stage of each level's work. In a
+	// Resilient run a failure here kills just that level.
 	for _, lv := range levels {
+		lv := lv
 		if !cfg.Resilient {
-			level, _, err := diffLevel(lv.n, lv.f, cfg, table, lv.stage)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s: %w", lv.stage, err)
-			}
-			*lv.dst = level
+			fireStage(lv.stage, "")
 			continue
 		}
-		// Resilient: a panic or error anywhere in this level degrades it
-		// to an empty placeholder instead of aborting the run.
-		var (
-			level *Level
-			errs  []*resilience.StageError
-		)
-		serr := resilience.Guard(lv.stage, "", func() error {
-			var err error
-			level, errs, err = diffLevel(lv.n, lv.f, cfg, table, lv.stage)
-			return err
-		})
-		rep.Degraded = append(rep.Degraded, errs...)
-		if serr != nil {
-			rep.Degraded = append(rep.Degraded, serr)
-			level = emptyLevel()
+		if serr := resilience.Guard(lv.stage, "", func() error {
+			fireStage(lv.stage, "")
+			return nil
+		}); serr != nil {
+			lv.dead, lv.err = true, serr
 		}
-		*lv.dst = level
 	}
+
+	// Phase 1: NLR over every (level, side, object) of the live levels,
+	// in parallel, against a shared deterministic loop table.
+	if err := summarizeAll(levels, cfg, table); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: per-level attribute extraction + analysis; the two levels
+	// run concurrently with a divided worker budget.
+	w := cfg.workers()
+	levelW := pool.Divide(w, len(levels))
+	levelErrs := make([]error, len(levels))
+	pool.Do(w, len(levels), func(i int) {
+		lv := levels[i]
+		if lv.dead {
+			lv.level = emptyLevel()
+			return
+		}
+		if !cfg.Resilient {
+			levelErrs[i] = lv.analyze(cfg, levelW)
+			return
+		}
+		if serr := resilience.Guard(lv.stage, "", func() error {
+			return lv.analyze(cfg, levelW)
+		}); serr != nil {
+			lv.err = serr
+			lv.level = emptyLevel()
+		}
+	})
+	for i, lv := range levels {
+		if err := levelErrs[i]; err != nil {
+			return nil, fmt.Errorf("core: %s: %w", lv.stage, err)
+		}
+	}
+
+	// Degraded accounting in canonical order: per level, the normal side's
+	// NLR then attribute errors in object order, the faulty side's
+	// likewise, then any level-wide failure.
+	for _, lv := range levels {
+		for _, s := range lv.sides {
+			for _, e := range s.nlrErrs {
+				if e != nil {
+					rep.Degraded = append(rep.Degraded, e)
+				}
+			}
+			for _, e := range s.attrErrs {
+				if e != nil {
+					rep.Degraded = append(rep.Degraded, e)
+				}
+			}
+		}
+		if lv.err != nil {
+			rep.Degraded = append(rep.Degraded, lv.err)
+		}
+	}
+	rep.Threads = levels[0].level
+	rep.Processes = levels[1].level
 	return rep, nil
+}
+
+func newLevelRun(stage string, nObjs, fObjs []object) *levelRun {
+	nObjs, fObjs = union(nObjs, fObjs)
+	return &levelRun{
+		stage: stage,
+		sides: [2]*sideRun{newSideRun("normal", nObjs), newSideRun("faulty", fObjs)},
+	}
+}
+
+// nlrItem addresses one (level, side, object) summarization unit.
+type nlrItem struct {
+	lv   *levelRun
+	side *sideRun
+	idx  int
+}
+
+// summarizeAll is the parallel NLR phase. Each round summarizes every live
+// object against a frozen view of the shared loop table, writing new loop
+// bodies into a private overlay (nlr.NewOverlay); at the round barrier the
+// overlays are absorbed into the table in canonical item order, which fixes
+// the ID of every body independently of scheduling. Rounds repeat until
+// the table stops growing, so loops discovered in any trace fold in every
+// other (the cross-trace heuristic nlr.SummarizeSet's two passes provide,
+// iterated to a fixpoint and symmetric across the normal/faulty sides).
+//
+// With Workers <= 1 the same rounds run inline on one goroutine; since the
+// absorb order never depends on scheduling, the resulting table and element
+// sequences are identical for every worker count.
+func summarizeAll(levels []*levelRun, cfg Config, table *nlr.Table) error {
+	var items []nlrItem
+	for _, lv := range levels {
+		if lv.dead {
+			continue
+		}
+		for _, s := range lv.sides {
+			for i := range s.objs {
+				items = append(items, nlrItem{lv: lv, side: s, idx: i})
+			}
+		}
+	}
+	w := cfg.workers()
+	prevLen := -1
+	for round := 0; round < maxRounds && table.Len() != prevLen; round++ {
+		prevLen = table.Len()
+		overlays := make([]*nlr.Table, len(items))
+		elems := make([][]nlr.Element, len(items))
+		roundErrs := make([]*resilience.StageError, len(items))
+		pool.Do(w, len(items), func(i int) {
+			it := items[i]
+			if it.side.nlrErrs[it.idx] != nil {
+				return // failed in an earlier round; stays skipped
+			}
+			o := it.side.objs[it.idx]
+			stage := it.lv.stage + "/" + it.side.name + "/nlr"
+			work := func() {
+				fireStage(stage, o.name)
+				ov := nlr.NewOverlay(table)
+				elems[i] = nlr.SummarizeTrace(o.tr, o.reg, cfg.Filter.K, ov)
+				overlays[i] = ov
+			}
+			if !cfg.Resilient {
+				work()
+				return
+			}
+			if serr := resilience.Guard(stage, o.name, func() error {
+				work()
+				return nil
+			}); serr != nil {
+				roundErrs[i] = serr
+			}
+		})
+		// Barrier: merge discoveries in canonical order and land the
+		// round's sequences (remapped to the canonical IDs).
+		for i, it := range items {
+			if roundErrs[i] != nil {
+				it.side.nlrErrs[it.idx] = roundErrs[i]
+				it.side.elems[it.idx] = nil
+				continue
+			}
+			if overlays[i] == nil {
+				continue
+			}
+			remap := table.Absorb(overlays[i])
+			it.side.elems[it.idx] = nlr.RemapElements(elems[i], remap)
+		}
+	}
+	return nil
+}
+
+// analyze runs one level's attribute extraction and both sides' analyses,
+// then the cross-side comparison, with up to w workers.
+func (lv *levelRun) analyze(cfg Config, w int) error {
+	// Attribute extraction over both sides' objects in parallel. Failed
+	// objects (either stage) are excluded from both sides below.
+	type attrItem struct {
+		side *sideRun
+		idx  int
+	}
+	var items []attrItem
+	for _, s := range lv.sides {
+		for i := range s.objs {
+			if s.nlrErrs[i] == nil {
+				items = append(items, attrItem{side: s, idx: i})
+			}
+		}
+	}
+	pool.Do(w, len(items), func(i int) {
+		it := items[i]
+		o := it.side.objs[it.idx]
+		stage := lv.stage + "/" + it.side.name + "/attr"
+		work := func() {
+			fireStage(stage, o.name)
+			if cfg.Attr.Kind == attr.Context {
+				// Caller→callee attributes come from the raw enter/exit
+				// nesting, not the NLR sequence.
+				it.side.attrs[it.idx] = attr.ExtractContext(o.tr, o.reg, cfg.Attr.Freq)
+			} else {
+				it.side.attrs[it.idx] = attr.Extract(it.side.elems[it.idx], cfg.Attr)
+			}
+		}
+		if !cfg.Resilient {
+			work()
+			return
+		}
+		if serr := resilience.Guard(stage, o.name, func() error {
+			work()
+			return nil
+		}); serr != nil {
+			it.side.attrErrs[it.idx] = serr
+		}
+	})
+
+	// An object skipped on either side must leave both, so the two JSMs
+	// keep identical name sets and jaccard.Diff/BScore stay well-defined.
+	excluded := map[string]bool{}
+	for _, s := range lv.sides {
+		for i, o := range s.objs {
+			if s.nlrErrs[i] != nil || s.attrErrs[i] != nil {
+				excluded[o.name] = true
+			}
+		}
+	}
+
+	// Both sides' lattice/JSM/linkage builds run concurrently.
+	sideW := pool.Divide(w, 2)
+	var analyses [2]*Analysis
+	sideErrs := make([]error, 2)
+	pool.Do(w, 2, func(i int) {
+		analyses[i], sideErrs[i] = lv.sides[i].buildAnalysis(cfg, excluded, sideW)
+	})
+	for _, err := range sideErrs {
+		if err != nil {
+			return err
+		}
+	}
+	normal, faulty := analyses[0], analyses[1]
+
+	jsmd, err := jaccard.Diff(faulty.JSM, normal.JSM)
+	if err != nil {
+		return err
+	}
+	b, err := bscore.BScore(normal.Linkage, faulty.Linkage)
+	if err != nil {
+		return err
+	}
+	lv.level = &Level{
+		Normal:   normal,
+		Faulty:   faulty,
+		JSMD:     jsmd,
+		BScore:   b,
+		Suspects: jsmd.Suspects(),
+	}
+	return nil
+}
+
+// buildAnalysis assembles the lattice/JSM/linkage for one execution side
+// from the objects that survived summarization and extraction.
+func (s *sideRun) buildAnalysis(cfg Config, excluded map[string]bool, w int) (*Analysis, error) {
+	nlrs := make(map[string][]nlr.Element, len(s.objs))
+	attrs := make(map[string]fca.AttrSet, len(s.objs))
+	for i, o := range s.objs {
+		if excluded[o.name] {
+			continue
+		}
+		nlrs[o.name] = s.elems[i]
+		attrs[o.name] = s.attrs[i]
+	}
+	a := &Analysis{NLR: nlrs, Attrs: attrs}
+	if cfg.BuildLattices {
+		a.Lattice = fca.NewLattice()
+		for _, o := range s.objs {
+			if at, ok := attrs[o.name]; ok {
+				a.Lattice.AddObject(o.name, at)
+			}
+		}
+		a.JSM = jaccard.FromLattice(a.Lattice)
+	} else {
+		a.JSM = jaccard.NewParallel(attrs, w)
+	}
+	lk, err := cluster.Build(a.JSM.Distance(), cfg.Linkage)
+	if err != nil {
+		return nil, err
+	}
+	a.Linkage = lk
+	return a, nil
 }
 
 // emptyLevel is the placeholder for a level that failed wholesale in a
@@ -198,7 +510,9 @@ func processObjects(s *trace.TraceSet) []object {
 
 // union aligns two object lists by name: objects missing on one side get an
 // empty trace (a thread that never spawned in the faulty run is itself a
-// signal, not an error).
+// signal, not an error). Ghosts are appended in natural name order so the
+// object sequence — and with it the canonical loop-table merge order — is
+// fully deterministic.
 func union(a, b []object) ([]object, []object) {
 	names := map[string]bool{}
 	for _, o := range a {
@@ -212,10 +526,15 @@ func union(a, b []object) ([]object, []object) {
 		for _, o := range objs {
 			have[o.name] = true
 		}
+		var ghosts []string
 		for n := range names {
 			if !have[n] {
-				objs = append(objs, object{name: n, tr: &trace.Trace{}, reg: reg})
+				ghosts = append(ghosts, n)
 			}
+		}
+		sort.Slice(ghosts, func(i, j int) bool { return jaccard.LessNatural(ghosts[i], ghosts[j]) })
+		for _, n := range ghosts {
+			objs = append(objs, object{name: n, tr: &trace.Trace{}, reg: reg})
 		}
 		return objs
 	}
@@ -227,132 +546,6 @@ func union(a, b []object) ([]object, []object) {
 		regB = b[0].reg
 	}
 	return fill(a, regA), fill(b, regB)
-}
-
-// summarize runs the NLR + attribute passes over one execution's objects.
-// In a Resilient run each object is guarded individually: a panic or error
-// while summarizing one object records a StageError and skips it, leaving
-// the other objects intact. Returns the surviving NLR and attribute maps.
-func summarize(objs []object, cfg Config, table *nlr.Table, stage string) (map[string][]nlr.Element, map[string]fca.AttrSet, []*resilience.StageError) {
-	nlrs := make(map[string][]nlr.Element, len(objs))
-	attrs := make(map[string]fca.AttrSet, len(objs))
-	var errs []*resilience.StageError
-	skipped := map[string]bool{}
-
-	// Two passes so that loops discovered in later traces fold in earlier
-	// ones (the shared-loop-table heuristic; see nlr.SummarizeSet).
-	seed := func(o object) error {
-		if testStageHook != nil {
-			testStageHook(stage+"/nlr", o.name)
-		}
-		nlr.SummarizeTrace(o.tr, o.reg, cfg.Filter.K, table)
-		return nil
-	}
-	extract := func(o object) error {
-		if testStageHook != nil {
-			testStageHook(stage+"/attr", o.name)
-		}
-		elems := nlr.SummarizeTrace(o.tr, o.reg, cfg.Filter.K, table)
-		nlrs[o.name] = elems
-		if cfg.Attr.Kind == attr.Context {
-			// Caller→callee attributes come from the raw enter/exit
-			// nesting, not the NLR sequence.
-			attrs[o.name] = attr.ExtractContext(o.tr, o.reg, cfg.Attr.Freq)
-		} else {
-			attrs[o.name] = attr.Extract(elems, cfg.Attr)
-		}
-		return nil
-	}
-	for _, pass := range []struct {
-		name string
-		fn   func(object) error
-	}{{"nlr", seed}, {"attr", extract}} {
-		for _, o := range objs {
-			o := o
-			if !cfg.Resilient {
-				pass.fn(o) //nolint:errcheck // both passes only signal via panic
-				continue
-			}
-			if skipped[o.name] {
-				continue
-			}
-			if serr := resilience.Guard(stage+"/"+pass.name, o.name, func() error {
-				return pass.fn(o)
-			}); serr != nil {
-				errs = append(errs, serr)
-				skipped[o.name] = true
-				delete(nlrs, o.name)
-				delete(attrs, o.name)
-			}
-		}
-	}
-	return nlrs, attrs, errs
-}
-
-// buildAnalysis assembles the lattice/JSM/linkage for one execution from the
-// objects that survived summarization.
-func buildAnalysis(objs []object, nlrs map[string][]nlr.Element, attrs map[string]fca.AttrSet, cfg Config) (*Analysis, error) {
-	a := &Analysis{NLR: nlrs, Attrs: attrs}
-	if cfg.BuildLattices {
-		a.Lattice = fca.NewLattice()
-		for _, o := range objs {
-			if at, ok := attrs[o.name]; ok {
-				a.Lattice.AddObject(o.name, at)
-			}
-		}
-		a.JSM = jaccard.FromLattice(a.Lattice)
-	} else {
-		a.JSM = jaccard.New(attrs)
-	}
-	lk, err := cluster.Build(a.JSM.Distance(), cfg.Linkage)
-	if err != nil {
-		return nil, err
-	}
-	a.Linkage = lk
-	return a, nil
-}
-
-// diffLevel runs both analyses and the comparison at one granularity. The
-// returned StageErrors (Resilient runs only) list objects that were skipped.
-func diffLevel(nObjs, fObjs []object, cfg Config, table *nlr.Table, stage string) (*Level, []*resilience.StageError, error) {
-	if testStageHook != nil {
-		testStageHook(stage, "")
-	}
-	nObjs, fObjs = union(nObjs, fObjs)
-	nNLR, nAttrs, errs := summarize(nObjs, cfg, table, stage+"/normal")
-	fNLR, fAttrs, fErrs := summarize(fObjs, cfg, table, stage+"/faulty")
-	errs = append(errs, fErrs...)
-	// An object skipped on either side must leave both, so the two JSMs
-	// keep identical name sets and jaccard.Diff/BScore stay well-defined.
-	for _, e := range errs {
-		delete(nNLR, e.Object)
-		delete(nAttrs, e.Object)
-		delete(fNLR, e.Object)
-		delete(fAttrs, e.Object)
-	}
-	normal, err := buildAnalysis(nObjs, nNLR, nAttrs, cfg)
-	if err != nil {
-		return nil, errs, err
-	}
-	faulty, err := buildAnalysis(fObjs, fNLR, fAttrs, cfg)
-	if err != nil {
-		return nil, errs, err
-	}
-	jsmd, err := jaccard.Diff(faulty.JSM, normal.JSM)
-	if err != nil {
-		return nil, errs, err
-	}
-	b, err := bscore.BScore(normal.Linkage, faulty.Linkage)
-	if err != nil {
-		return nil, errs, err
-	}
-	return &Level{
-		Normal:   normal,
-		Faulty:   faulty,
-		JSMD:     jsmd,
-		BScore:   b,
-		Suspects: jsmd.Suspects(),
-	}, errs, nil
 }
 
 // DiffNLR renders the diffNLR(x) view for an object of the given level

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"difftrace/internal/attr"
+	"difftrace/internal/trace"
+)
+
+// reportsEqual deep-compares two reports modulo the Workers knob (the only
+// field allowed to differ between the sequential and parallel runs).
+func reportsEqual(t *testing.T, a, b *Report, label string) {
+	t.Helper()
+	ca, cb := *a, *b
+	ca.Cfg.Workers, cb.Cfg.Workers = 0, 0
+	// Compare the loop tables body-by-body first for a precise message.
+	if ca.LoopTable.Len() != cb.LoopTable.Len() {
+		t.Fatalf("%s: loop tables differ in size: %d vs %d", label, ca.LoopTable.Len(), cb.LoopTable.Len())
+	}
+	for id := 0; id < ca.LoopTable.Len(); id++ {
+		if ca.LoopTable.Describe(id) != cb.LoopTable.Describe(id) {
+			t.Fatalf("%s: loop L%d differs: %s vs %s", label, id, ca.LoopTable.Describe(id), cb.LoopTable.Describe(id))
+		}
+	}
+	for _, lv := range []struct {
+		name string
+		a, b *Level
+	}{{"threads", ca.Threads, cb.Threads}, {"processes", ca.Processes, cb.Processes}} {
+		if !reflect.DeepEqual(lv.a.Suspects, lv.b.Suspects) {
+			t.Fatalf("%s: %s suspects differ:\n%v\nvs\n%v", label, lv.name, lv.a.Suspects, lv.b.Suspects)
+		}
+		if lv.a.BScore != lv.b.BScore {
+			t.Fatalf("%s: %s B-score %v vs %v", label, lv.name, lv.a.BScore, lv.b.BScore)
+		}
+		if !reflect.DeepEqual(lv.a.JSMD, lv.b.JSMD) {
+			t.Fatalf("%s: %s JSM_D differs", label, lv.name)
+		}
+		if !reflect.DeepEqual(lv.a.Normal.NLR, lv.b.Normal.NLR) {
+			t.Fatalf("%s: %s normal NLR sequences differ", label, lv.name)
+		}
+		if !reflect.DeepEqual(lv.a.Faulty.NLR, lv.b.Faulty.NLR) {
+			t.Fatalf("%s: %s faulty NLR sequences differ", label, lv.name)
+		}
+	}
+	if !reflect.DeepEqual(ca.Degraded, cb.Degraded) {
+		t.Fatalf("%s: degraded lists differ:\n%v\nvs\n%v", label, ca.Degraded, cb.Degraded)
+	}
+	// Belt and braces: whole-report structural equality.
+	if !reflect.DeepEqual(&ca, &cb) {
+		t.Fatalf("%s: reports differ structurally", label)
+	}
+}
+
+// TestWorkersDeterminism: the report is identical for every worker count,
+// across attribute kinds and with lattices on. Run under -race to also
+// prove the parallel path is well-synchronized.
+func TestWorkersDeterminism(t *testing.T) {
+	reg := trace.NewRegistry()
+	normal := collect(t, 16, reg, nil)
+	faulty := collect(t, 16, reg, swapPlan())
+	cfgs := []Config{
+		DefaultConfig(),
+		{Filter: DefaultConfig().Filter, Attr: attr.Config{Kind: attr.Single, Freq: attr.Actual}, Linkage: DefaultConfig().Linkage},
+		{Filter: DefaultConfig().Filter, Attr: attr.Config{Kind: attr.Double, Freq: attr.Log10}, Linkage: DefaultConfig().Linkage, BuildLattices: true},
+	}
+	for _, base := range cfgs {
+		base.Workers = 1
+		seq, err := DiffRun(normal, faulty, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 8} {
+			cfg := base
+			cfg.Workers = w
+			par, err := DiffRun(normal, faulty, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEqual(t, seq, par, base.Attr.String())
+		}
+	}
+}
+
+// TestResilientWorkersDeterminism: injected per-object failures degrade
+// identically — same StageErrors, same surviving ranking — for any worker
+// count.
+func TestResilientWorkersDeterminism(t *testing.T) {
+	reg := trace.NewRegistry()
+	normal := collect(t, 8, reg, nil)
+	faulty := collect(t, 8, reg, swapPlan())
+	withHook(t, func(stage, object string) {
+		if (object == "3.0" || object == "6.0") && strings.Contains(stage, "/nlr") {
+			panic("injected NLR blow-up")
+		}
+		if object == "2" && strings.Contains(stage, "/attr") {
+			panic("injected attr blow-up")
+		}
+	})
+	cfg := DefaultConfig()
+	cfg.Resilient = true
+	cfg.Workers = 1
+	seq, err := DiffRun(normal, faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Degraded) == 0 {
+		t.Fatal("hook injected no failures")
+	}
+	for _, w := range []int{2, 8} {
+		cfg.Workers = w
+		par, err := DiffRun(normal, faulty, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportsEqual(t, seq, par, "resilient")
+	}
+}
+
+// TestParallelNonResilientPanicPropagates: without Resilient a panic inside
+// a worker must still escape DiffRun (re-raised deterministically by the
+// pool), matching the historical serial behavior.
+func TestParallelNonResilientPanicPropagates(t *testing.T) {
+	reg := trace.NewRegistry()
+	normal := collect(t, 4, reg, nil)
+	faulty := collect(t, 4, reg, swapPlan())
+	withHook(t, func(stage, object string) {
+		if object == "1.0" && strings.Contains(stage, "/nlr") {
+			panic("injected NLR blow-up")
+		}
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("parallel non-resilient DiffRun swallowed the panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	_, _ = DiffRun(normal, faulty, cfg)
+}
+
+// TestWorkersDefault: Workers 0 resolves to GOMAXPROCS and still matches
+// the sequential report.
+func TestWorkersDefault(t *testing.T) {
+	reg := trace.NewRegistry()
+	normal := collect(t, 8, reg, nil)
+	faulty := collect(t, 8, reg, dlPlan())
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	seq, err := DiffRun(normal, faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 0
+	def, err := DiffRun(normal, faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, seq, def, "default workers")
+}
+
+// TestGhostObjectsDeterministic: objects existing on only one side are
+// appended in natural name order, so the canonical merge order (and the
+// loop table) is stable even with several ghosts.
+func TestGhostObjectsDeterministic(t *testing.T) {
+	build := func(workers int) *Report {
+		reg := trace.NewRegistry()
+		normal := collect(t, 4, reg, nil)
+		faulty := collect(t, 4, reg, nil)
+		for _, tid := range []struct{ p, t int }{{3, 7}, {2, 9}, {1, 4}, {3, 2}} {
+			extra := normal.Get(trace.TID(tid.p, tid.t))
+			extra.Append(reg.ID("ghost"), trace.Enter)
+		}
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		rep, err := DiffRun(normal, faulty, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := build(1), build(8)
+	reportsEqual(t, a, b, "ghosts")
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"difftrace/internal/fca"
+	"difftrace/internal/pool"
 )
 
 // JSM is a symmetric matrix of pairwise similarities (or, for a difference
@@ -24,22 +25,32 @@ type JSM struct {
 // name using a numeric-aware comparison so "T2" sorts before "T10" and
 // "6.4" after "6.3".
 func New(attrs map[string]fca.AttrSet) *JSM {
+	return NewParallel(attrs, 1)
+}
+
+// NewParallel is New with the O(n²) pairwise computation spread over up to
+// workers goroutines in row blocks. Row i computes cells (i, j>i) and
+// mirrors them; every cell is written exactly once and each value is the
+// same arithmetic as the sequential path, so the result is bit-identical
+// for any worker count.
+func NewParallel(attrs map[string]fca.AttrSet, workers int) *JSM {
 	names := make([]string, 0, len(attrs))
 	for n := range attrs {
 		names = append(names, n)
 	}
-	sort.Slice(names, func(i, j int) bool { return lessNatural(names[i], names[j]) })
+	sort.Slice(names, func(i, j int) bool { return LessNatural(names[i], names[j]) })
 	m := make([][]float64, len(names))
 	for i := range m {
 		m[i] = make([]float64, len(names))
 		m[i][i] = 1
 	}
-	for i := range names {
+	pool.Do(workers, len(names), func(i int) {
+		row := attrs[names[i]]
 		for j := i + 1; j < len(names); j++ {
-			v := attrs[names[i]].Jaccard(attrs[names[j]])
+			v := row.Jaccard(attrs[names[j]])
 			m[i][j], m[j][i] = v, v
 		}
-	}
+	})
 	return &JSM{Names: names, M: m}
 }
 
@@ -55,9 +66,10 @@ func FromLattice(l *fca.Lattice) *JSM {
 	return New(attrs)
 }
 
-// lessNatural compares names component-wise, numerically where possible
-// ("6.4" < "10.2", "T2" < "T10").
-func lessNatural(a, b string) bool {
+// LessNatural compares names component-wise, numerically where possible
+// ("6.4" < "10.2", "T2" < "T10"). It is a strict total order: ties on the
+// numeric key fall back to the raw strings.
+func LessNatural(a, b string) bool {
 	pa, pb := naturalKey(a), naturalKey(b)
 	for i := 0; i < len(pa) && i < len(pb); i++ {
 		if pa[i] != pb[i] {

@@ -86,14 +86,39 @@ func isoSlice(a, b []Element) bool {
 // One Table is shared by every trace of an execution pair (normal+faulty),
 // mirroring the paper's global hash table of distinct loop bodies.
 // It is safe for concurrent use.
+//
+// A Table can also be an *overlay* (NewOverlay): reads fall through to a
+// frozen base table while new bodies are interned locally. Overlays are how
+// the parallel pipeline keeps loop-ID assignment deterministic: workers
+// never race on the shared table, and their local discoveries are merged
+// back (Absorb) at a barrier in a canonical order that does not depend on
+// scheduling.
 type Table struct {
 	mu     sync.Mutex
 	ids    map[string]int
 	bodies [][]Element
+
+	// Overlay state. base is treated as frozen for the overlay's lifetime:
+	// the first horizon IDs belong to it, locally interned bodies get IDs
+	// from horizon upward.
+	base    *Table
+	horizon int
 }
 
 // NewTable returns an empty loop table.
 func NewTable() *Table { return &Table{ids: make(map[string]int)} }
+
+// NewOverlay returns an overlay over base: Intern and Has see everything
+// base currently holds (IDs < base.Len() are base IDs), while bodies not in
+// base are interned locally with IDs from base.Len() upward. The caller
+// must not mutate base while the overlay is in use; overlays of overlays
+// are not supported.
+func NewOverlay(base *Table) *Table {
+	if base.base != nil {
+		panic("nlr: overlay of an overlay")
+	}
+	return &Table{ids: make(map[string]int), base: base, horizon: base.Len()}
+}
 
 // bodySig canonically renders a body. Nested loops already carry IDs
 // (loops are interned bottom-up), so the signature is just the token join.
@@ -105,20 +130,45 @@ func bodySig(body []Element) string {
 	return strings.Join(toks, "\x00")
 }
 
+// hasLocalRef reports whether body references any overlay-local loop ID
+// (>= horizon). Such a body cannot exist in the frozen base — base bodies
+// only reference IDs below the horizon — so base lookups are skipped.
+func (t *Table) hasLocalRef(body []Element) bool {
+	for _, e := range body {
+		if e.Loop != nil && e.Loop.ID >= t.horizon {
+			return true
+		}
+	}
+	return false
+}
+
 // Intern returns the ID for body, assigning the next free ID on first sight.
 func (t *Table) Intern(body []Element) int {
 	sig := bodySig(body)
+	if t.base != nil && !t.hasLocalRef(body) {
+		if id, ok := t.base.lookup(sig); ok {
+			return id
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if id, ok := t.ids[sig]; ok {
 		return id
 	}
-	id := len(t.bodies)
+	id := t.horizon + len(t.bodies)
 	t.ids[sig] = id
 	cp := make([]Element, len(body))
 	copy(cp, body)
 	t.bodies = append(t.bodies, cp)
 	return id
+}
+
+// lookup reports the ID for an already-interned signature.
+func (t *Table) lookup(sig string) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, ok := t.ids[sig]
+	return id, ok
 }
 
 // Has reports whether body is already interned, without interning it.
@@ -127,28 +177,90 @@ func (t *Table) Intern(body []Element) int {
 // (Table III's T0/T3 loop just twice yet are summarized as L^2).
 func (t *Table) Has(body []Element) bool {
 	sig := bodySig(body)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, ok := t.ids[sig]
+	if t.base != nil && !t.hasLocalRef(body) {
+		if _, ok := t.base.lookup(sig); ok {
+			return true
+		}
+	}
+	_, ok := t.lookup(sig)
 	return ok
 }
 
-// Len reports the number of distinct loop bodies interned.
+// Len reports the number of distinct loop bodies visible: for an overlay
+// that includes everything below the horizon plus the local discoveries.
 func (t *Table) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.bodies)
+	return t.horizon + len(t.bodies)
 }
 
 // Body returns (a copy of) the body for id; nil if unknown.
 func (t *Table) Body(id int) []Element {
+	if t.base != nil && id >= 0 && id < t.horizon {
+		return t.base.Body(id)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if id < 0 || id >= len(t.bodies) {
+	i := id - t.horizon
+	if i < 0 || i >= len(t.bodies) {
 		return nil
 	}
-	out := make([]Element, len(t.bodies[id]))
-	copy(out, t.bodies[id])
+	out := make([]Element, len(t.bodies[i]))
+	copy(out, t.bodies[i])
+	return out
+}
+
+// Absorb merges an overlay's local discoveries into t (the overlay's base)
+// and returns the remap from overlay-local IDs to their canonical base IDs.
+// Local bodies are absorbed in ascending local-ID order; since a nested
+// local loop is always interned before any body containing it, every local
+// reference inside a body already has a remap entry when the body is
+// processed. Calling Absorb on overlays in a canonical order is what makes
+// the merged ID assignment independent of worker scheduling. IDs that land
+// unchanged are omitted from the remap, so an empty map means the overlay's
+// sequences are already in canonical form.
+func (t *Table) Absorb(o *Table) map[int]int {
+	if o.base != t {
+		panic("nlr: Absorb of a foreign overlay")
+	}
+	o.mu.Lock()
+	local := o.bodies
+	o.mu.Unlock()
+	remap := make(map[int]int)
+	for i, body := range local {
+		oldID := o.horizon + i
+		newID := t.Intern(RemapElements(body, remap))
+		if newID != oldID {
+			remap[oldID] = newID
+		}
+	}
+	return remap
+}
+
+// RemapElements rewrites loop IDs in a summarized sequence according to
+// remap (IDs absent from the map are kept). With an empty remap the input
+// is returned as-is; otherwise loop elements are rebuilt so shared bodies
+// are never mutated in place.
+func RemapElements(elems []Element, remap map[int]int) []Element {
+	if len(remap) == 0 {
+		return elems
+	}
+	out := make([]Element, len(elems))
+	for i, e := range elems {
+		if e.Loop == nil {
+			out[i] = e
+			continue
+		}
+		id := e.Loop.ID
+		if nid, ok := remap[id]; ok {
+			id = nid
+		}
+		out[i] = Element{Loop: &Loop{
+			Body:  RemapElements(e.Loop.Body, remap),
+			Count: e.Loop.Count,
+			ID:    id,
+		}}
+	}
 	return out
 }
 

@@ -1,0 +1,97 @@
+// Package pool is the bounded worker pool behind DiffTrace's intra-run
+// parallelism (the paper's future-work item 1: "optimizing [components] to
+// exploit multi-core CPUs"). It provides a deterministic-friendly parallel
+// for-loop: work items are indexed, results land in caller-owned slots, and
+// panics are re-raised in the caller at a deterministic index, so callers
+// can parallelize a stage without changing its observable behaviour.
+//
+// The package depends only on the standard library so every layer —
+// nlr, jaccard, core, rank — can import it without cycles.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n itself when positive, otherwise
+// runtime.GOMAXPROCS(0) — the "as many as the hardware allows" default.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Divide splits a total worker budget across outer concurrent tasks so the
+// nested fan-out (outer tasks × inner workers) does not oversubscribe the
+// machine: it returns max(1, total/outer).
+func Divide(total, outer int) int {
+	if outer < 1 {
+		outer = 1
+	}
+	if w := total / outer; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// Do runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns when all calls have finished. Items are claimed dynamically, so
+// unbalanced work still packs tightly; with workers <= 1 (or n <= 1) the
+// loop runs inline on the caller's goroutine.
+//
+// A panic inside fn does not kill the process: every worker finishes its
+// remaining items' claims, and the panic raised at the lowest panicking
+// index is re-raised on the caller's goroutine — deterministic no matter
+// which worker hit it first. (Pipeline stages that must survive panics wrap
+// fn bodies in resilience.Guard instead; Do's re-raise is the non-resilient
+// path where a panic is expected to propagate exactly as in a serial loop.)
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	panics := make([]any, n)
+	var panicked atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panics[i] = p
+							panicked.Store(true)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		for _, p := range panics {
+			if p != nil {
+				panic(p)
+			}
+		}
+	}
+}

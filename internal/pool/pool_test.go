@@ -1,0 +1,99 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 32} {
+		n := 257
+		counts := make([]int32, n)
+		Do(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	Do(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+	ran := false
+	Do(4, 1, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("fn not called for n=1")
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	Do(workers, 64, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent workers, want <= %d", p, workers)
+	}
+}
+
+// TestDoPanicLowestIndex: with several panicking items, the caller sees the
+// lowest index's panic value regardless of scheduling.
+func TestDoPanicLowestIndex(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "boom-3" {
+			t.Fatalf("recovered %v, want boom-3", p)
+		}
+	}()
+	Do(8, 32, func(i int) {
+		if i == 3 || i == 17 || i == 31 {
+			panic("boom-" + string(rune('0'+i%10)))
+		}
+	})
+	t.Fatal("Do returned instead of panicking")
+}
+
+func TestDoPanicInline(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "serial" {
+			t.Fatalf("recovered %v, want serial", p)
+		}
+	}()
+	Do(1, 4, func(i int) {
+		if i == 2 {
+			panic("serial")
+		}
+	})
+	t.Fatal("inline Do swallowed the panic")
+}
+
+func TestWorkersAndDivide(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-1) = %d", got)
+	}
+	if got := Divide(8, 2); got != 4 {
+		t.Errorf("Divide(8,2) = %d", got)
+	}
+	if got := Divide(2, 8); got != 1 {
+		t.Errorf("Divide(2,8) = %d", got)
+	}
+	if got := Divide(8, 0); got != 8 {
+		t.Errorf("Divide(8,0) = %d", got)
+	}
+}

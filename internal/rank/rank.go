@@ -11,12 +11,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"difftrace/internal/attr"
 	"difftrace/internal/cluster"
 	"difftrace/internal/core"
 	"difftrace/internal/filter"
+	"difftrace/internal/pool"
 	"difftrace/internal/trace"
 )
 
@@ -41,6 +41,21 @@ type Request struct {
 	// parameter combination is an independent DiffRun, so the sweep is
 	// embarrassingly parallel; 0 or 1 means sequential.
 	Parallel int
+	// Workers is the total intra-run worker budget. When the sweep itself
+	// is parallel the budget is divided across the concurrent runs
+	// (Parallel × per-run workers never oversubscribes it); 0 means
+	// runtime.GOMAXPROCS(0). Results are identical for every value.
+	Workers int
+}
+
+// runWorkers resolves the per-run worker budget: the total budget divided
+// by the number of concurrently running sweeps.
+func (r *Request) runWorkers() int {
+	outer := r.Parallel
+	if outer < 1 {
+		outer = 1
+	}
+	return pool.Divide(pool.Workers(r.Workers), outer)
 }
 
 func (r *Request) defaults() {
@@ -98,9 +113,10 @@ func Sweep(normal, faulty *trace.TraceSet, req Request) (*Table, error) {
 
 	rows := make([]Row, len(combos))
 	errs := make([]error, len(combos))
+	runW := req.runWorkers()
 	runOne := func(i int) {
 		c := combos[i]
-		cfg := core.Config{Filter: c.flt, Attr: c.attr, Linkage: req.Linkage}
+		cfg := core.Config{Filter: c.flt, Attr: c.attr, Linkage: req.Linkage, Workers: runW}
 		rep, err := core.DiffRun(normal, faulty, cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("rank: %s/%s: %w", c.spec, c.attr, err)
@@ -116,24 +132,7 @@ func Sweep(normal, faulty *trace.TraceSet, req Request) (*Table, error) {
 		}
 	}
 
-	if req.Parallel > 1 {
-		sem := make(chan struct{}, req.Parallel)
-		var wg sync.WaitGroup
-		for i := range combos {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				runOne(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range combos {
-			runOne(i)
-		}
-	}
+	pool.Do(req.Parallel, len(combos), runOne)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package chaos
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -144,5 +145,66 @@ func TestOperatorsDeterministic(t *testing.T) {
 		if !bytes.Equal(a, b) {
 			t.Errorf("%s: corruption is not deterministic under a fixed seed", op.Name)
 		}
+	}
+}
+
+// TestChaosParallelMatchesSequential replays every corruption operator's
+// salvage through the parallel pipeline: a Resilient DiffRun at Workers:8
+// must produce the exact report — including the Degraded accounting — of
+// the sequential Workers:1 run.
+func TestChaosParallelMatchesSequential(t *testing.T) {
+	normText, faultText, faultBin := buildPair(t)
+	for _, op := range All() {
+		op := op
+		t.Run(op.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			src := faultText
+			if op.Binary {
+				src = faultBin
+			}
+			corrupted := op.Apply(src, rng)
+
+			reg := trace.NewRegistry()
+			normal, err := trace.ReadSetText(bytes.NewReader(normText), reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, _, err := readLenient(corrupted, op.Binary, reg, trace.ReadOptions{})
+			if err != nil {
+				t.Fatalf("lenient read: %v", err)
+			}
+
+			cfg := core.DefaultConfig()
+			cfg.Resilient = true
+			cfg.Workers = 1
+			seq, err := core.DiffRun(normal, set, cfg)
+			if err != nil {
+				t.Fatalf("sequential DiffRun: %v", err)
+			}
+			cfg.Workers = 8
+			par, err := core.DiffRun(normal, set, cfg)
+			if err != nil {
+				t.Fatalf("parallel DiffRun: %v", err)
+			}
+
+			// Degraded accounting must match entry for entry.
+			if len(seq.Degraded) != len(par.Degraded) {
+				t.Fatalf("degraded counts differ: %d vs %d", len(seq.Degraded), len(par.Degraded))
+			}
+			for i := range seq.Degraded {
+				if seq.Degraded[i].Stage != par.Degraded[i].Stage ||
+					seq.Degraded[i].Object != par.Degraded[i].Object {
+					t.Fatalf("degraded[%d] differs: %v vs %v", i, seq.Degraded[i], par.Degraded[i])
+				}
+			}
+
+			// And the full reports, modulo the Workers knob.
+			cs, cp := *seq, *par
+			cs.Cfg.Workers, cp.Cfg.Workers = 0, 0
+			if !reflect.DeepEqual(&cs, &cp) {
+				t.Fatalf("parallel report differs from sequential (suspects: %v vs %v)",
+					seq.Threads.TopSuspects(5, 0), par.Threads.TopSuspects(5, 0))
+			}
+		})
 	}
 }
