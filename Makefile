@@ -3,7 +3,7 @@
 # corrupt-input fuzz seed corpora.
 GO ?= go
 
-.PHONY: all build vet test race determinism bench fuzz-seeds fuzz check
+.PHONY: all build vet test race determinism bench profile fuzz-seeds fuzz check
 
 all: build
 
@@ -30,16 +30,32 @@ race:
 determinism:
 	$(GO) test -race -short -count=2 \
 		-run 'Determinism|Workers|ParallelMatchesSequential|Ghost' \
-		./internal/core ./internal/jaccard ./internal/rank \
-		./internal/experiments ./internal/resilience/chaos
+		./internal/core ./internal/jaccard ./internal/rank ./internal/obs \
+		./internal/experiments ./internal/resilience/chaos ./cmd/difftrace
 
 # Worker-sweep benchmarks; regenerates the BENCH_parallel.json baseline.
 # On a single-CPU host the sweep measures overhead, not speedup (the JSON
-# notes which); on multicore expect >=2x at workers=4.
+# notes which); on multicore expect >=2x at workers=4. benchjson refuses to
+# shrink an existing baseline (interrupted run, narrower regex); pass
+# BENCHJSON_FLAGS=-force to override.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel_DiffRun|BenchmarkFig4_JSM' \
 		-benchmem -benchtime=3x . | tee /dev/stderr | $(GO) run ./cmd/benchjson \
-		> BENCH_parallel.json
+		-out BENCH_parallel.json $(BENCHJSON_FLAGS)
+
+# Profile run: CPU-profile the Fig4-scale synthetic pipeline benchmark, then
+# drive the CLI over a generated oddeven pair with -manifest and -metrics.
+# Artifacts land in ./profiles/ (pprof profile, test binary for symbolized
+# `go tool pprof`, trace pair, run manifest).
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel_DiffRun$$' -benchtime=3x \
+		-cpuprofile profiles/cpu.pprof -o profiles/difftrace.test .
+	$(GO) run ./cmd/tracegen -app oddeven -procs 16 -o profiles/normal.trace
+	$(GO) run ./cmd/tracegen -app oddeven -procs 16 -fault swapBug -o profiles/faulty.trace
+	$(GO) run ./cmd/difftrace -normal profiles/normal.trace -faulty profiles/faulty.trace \
+		-manifest profiles/manifest.json -metrics > /dev/null
+	@echo "profiles/: cpu.pprof (inspect with '$(GO) tool pprof profiles/difftrace.test profiles/cpu.pprof'), manifest.json"
 
 # Replay the checked-in fuzz seeds (corrupt/truncated trace corpora) as
 # regular tests — no fuzzing engine, deterministic, fast.

@@ -1,18 +1,28 @@
 // benchjson converts `go test -bench` output on stdin into a JSON baseline
-// document on stdout. Worker-sweep benchmarks (sub-benchmarks named
-// "workers=N") additionally get speedup ratios relative to their own
-// workers=1 run, plus the host CPU count — a 1.00x sweep on a single-core
-// host is expected, not a regression, and the JSON says so.
+// document. Worker-sweep benchmarks (sub-benchmarks named "workers=N")
+// additionally get speedup ratios relative to their own workers=1 run, plus
+// the host CPU count — a 1.00x sweep on a single-core host is expected, not
+// a regression, and the JSON says so.
+//
+// Custom metrics emitted via b.ReportMetric (e.g. the per-stage breakdowns
+// of BenchmarkParallel_DiffRunStages) are preserved under "extra".
 //
 //	go test -run '^$' -bench Parallel -benchmem . | go run ./cmd/benchjson
+//	go test -run '^$' -bench Parallel -benchmem . | go run ./cmd/benchjson -out BENCH_parallel.json
+//
+// With -out, an existing baseline is only overwritten when the new document
+// has at least as many benchmark entries — a partial run (interrupted bench,
+// narrower -bench regex) cannot silently clobber a fuller baseline. -force
+// overrides the guard.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
-	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -24,6 +34,8 @@ type benchLine struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (MB/s, summarize-ns/op, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type document struct {
@@ -37,41 +49,69 @@ type document struct {
 	Speedup    map[string]map[string]float64 `json:"speedup,omitempty"`
 }
 
-var lineRE = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
-
 func main() {
-	doc := document{
+	out := flag.String("out", "", "write the JSON document to this file instead of stdout (guarded against shrinking an existing baseline)")
+	force := flag.Bool("force", false, "overwrite -out even when the new document has fewer benchmarks than the existing baseline")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		if err := writeDoc(os.Stdout, doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if !*force {
+		if err := guardOverwrite(*out, doc); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeDoc(f, doc); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` output into a document. Benchmark lines are
+// "Name-P  iterations  value unit [value unit ...]"; parsing by field pairs
+// (instead of a fixed regexp) keeps custom b.ReportMetric units, which the
+// test runner interleaves between ns/op and B/op.
+func parse(r io.Reader) (*document, error) {
+	doc := &document{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
 			doc.CPU = strings.TrimSpace(cpu)
 			continue
 		}
-		m := lineRE.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		if b, ok := parseBenchLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
 		}
-		b := benchLine{Name: m[1]}
-		b.Iterations, _ = strconv.Atoi(m[2])
-		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		doc.Benchmarks = append(doc.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
-
 	doc.Speedup = speedups(doc.Benchmarks)
 	if len(doc.Speedup) == 0 {
 		doc.Speedup = nil
@@ -80,13 +120,74 @@ func main() {
 		doc.Note = "single-CPU host: worker sweeps measure overhead, not speedup; " +
 			"expect ratios near 1.00"
 	}
+	return doc, nil
+}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+func parseBenchLine(line string) (benchLine, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchLine{}, false
 	}
+	name := fields[0]
+	// Strip the trailing GOMAXPROCS suffix ("-8") from the last path element.
+	if i := strings.LastIndexByte(name, '-'); i > 0 && !strings.Contains(name[i:], "/") {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return benchLine{}, false
+	}
+	b := benchLine{Name: name, Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchLine{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[unit] = v
+		}
+	}
+	return b, sawNs
+}
+
+// guardOverwrite refuses to replace an existing baseline at path with a
+// document covering fewer benchmarks. A missing or unreadable baseline never
+// blocks the write (first run, corrupt file: the new document is strictly
+// better).
+func guardOverwrite(path string, doc *document) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var old document
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil
+	}
+	if len(doc.Benchmarks) < len(old.Benchmarks) {
+		return fmt.Errorf("refusing to overwrite %s: new document has %d benchmarks, baseline has %d (use -force to override)",
+			path, len(doc.Benchmarks), len(old.Benchmarks))
+	}
+	return nil
+}
+
+func writeDoc(w io.Writer, doc *document) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // speedups groups benchmarks by everything before a trailing "workers=N"

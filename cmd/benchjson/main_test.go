@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: difftrace
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkParallel_DiffRun/workers=1-8         	      10	 105000000 ns/op	 4000000 B/op	   30000 allocs/op
+BenchmarkParallel_DiffRun/workers=2-8         	      20	  55000000 ns/op	 4100000 B/op	   30100 allocs/op
+BenchmarkParallel_DiffRunStages/workers=8-8   	      10	 100000000 ns/op	42000000 summarize-ns/op	31000000 analyze-ns/op	 4000000 B/op	   30000 allocs/op
+BenchmarkParLOT_Compression-8                 	     100	  12000000 ns/op	 333.00 MB/s
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(doc.Benchmarks); got != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", got)
+	}
+	if doc.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+
+	byName := map[string]benchLine{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b
+	}
+
+	w1 := byName["BenchmarkParallel_DiffRun/workers=1"]
+	if w1.Iterations != 10 || w1.NsPerOp != 105000000 || w1.BytesPerOp != 4000000 || w1.AllocsPerOp != 30000 {
+		t.Errorf("workers=1 line parsed as %+v", w1)
+	}
+
+	// Custom b.ReportMetric units land between ns/op and B/op; the
+	// field-pair parser must keep them AND still see B/op after them.
+	st := byName["BenchmarkParallel_DiffRunStages/workers=8"]
+	if st.Extra["summarize-ns/op"] != 42000000 || st.Extra["analyze-ns/op"] != 31000000 {
+		t.Errorf("stage metrics = %v", st.Extra)
+	}
+	if st.BytesPerOp != 4000000 {
+		t.Errorf("B/op after custom metrics = %d, want 4000000", st.BytesPerOp)
+	}
+
+	if mb := byName["BenchmarkParLOT_Compression"].Extra["MB/s"]; mb != 333 {
+		t.Errorf("MB/s = %v, want 333", mb)
+	}
+
+	sp := doc.Speedup["BenchmarkParallel_DiffRun"]
+	if sp == nil || sp["2"] < 1.9 || sp["2"] > 1.92 {
+		t.Errorf("speedup = %v, want 2 -> ~1.91", sp)
+	}
+}
+
+func TestGuardOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_parallel.json")
+
+	big, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := &document{Benchmarks: big.Benchmarks[:1]}
+
+	// No baseline yet: any document may be written.
+	if err := guardOverwrite(path, small); err != nil {
+		t.Fatalf("fresh path should not be guarded: %v", err)
+	}
+
+	data, _ := json.Marshal(big)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrinking the baseline is refused; equal or larger passes.
+	if err := guardOverwrite(path, small); err == nil {
+		t.Fatal("expected refusal when new document has fewer benchmarks")
+	} else if !strings.Contains(err.Error(), "-force") {
+		t.Errorf("refusal should mention -force: %v", err)
+	}
+	if err := guardOverwrite(path, big); err != nil {
+		t.Fatalf("equal-size document should pass: %v", err)
+	}
+
+	// A corrupt baseline never blocks the write.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardOverwrite(path, small); err != nil {
+		t.Fatalf("corrupt baseline should not be guarded: %v", err)
+	}
+}

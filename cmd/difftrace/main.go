@@ -19,8 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"difftrace/internal/attr"
@@ -28,6 +32,7 @@ import (
 	"difftrace/internal/cluster"
 	"difftrace/internal/core"
 	"difftrace/internal/filter"
+	"difftrace/internal/obs"
 	"difftrace/internal/parlot"
 	"difftrace/internal/progress"
 	"difftrace/internal/rank"
@@ -57,6 +62,16 @@ type options struct {
 	// workers bounds the intra-run (and sweep) parallelism; output is
 	// identical for every value.
 	workers int
+	// manifestPath, when set, writes the run manifest (config, per-stage
+	// timings, metrics, pool utilization, ingestion totals) as JSON there.
+	manifestPath string
+	// metrics prints the human-readable metrics summary to errW.
+	metrics bool
+	// pprofAddr serves net/http/pprof on this address for the run.
+	pprofAddr string
+	// errW receives the -metrics summary and pprof notices; nil means
+	// os.Stderr (tests substitute a buffer).
+	errW io.Writer
 }
 
 func main() {
@@ -77,6 +92,9 @@ func main() {
 	lenient := flag.Bool("lenient", false, "salvage corrupt/truncated trace files instead of failing, and isolate per-trace pipeline failures")
 	ingestReport := flag.Bool("ingest-report", false, "print the per-trace ingestion/degradation report")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the analysis pipeline (results do not depend on this)")
+	manifest := flag.String("manifest", "", "write the run manifest (per-stage timings, metrics, pool utilization, ingestion totals) as JSON to this file")
+	metrics := flag.Bool("metrics", false, "print a human-readable metrics summary to stderr after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
 	if *normalPath == "" || *faultyPath == "" {
@@ -90,6 +108,7 @@ func main() {
 		heatmap: *showHeatmap, lattice: *showLattice, color: *color,
 		report: *report, triage: *triage,
 		lenient: *lenient, ingestReport: *ingestReport, workers: *workers,
+		manifestPath: *manifest, metrics: *metrics, pprofAddr: *pprofAddr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "difftrace:", err)
@@ -111,12 +130,58 @@ func splitList(s string) []string {
 }
 
 func run(w io.Writer, o options) error {
-	rdOpts := trace.ReadOptions{}
+	errW := o.errW
+	if errW == nil {
+		errW = io.Writer(os.Stderr)
+	}
+	// The obs run exists only when some output will consume it; a nil run
+	// keeps every instrumented layer on its zero-cost fast path.
+	var obsRun *obs.Run
+	if o.manifestPath != "" || o.metrics {
+		obsRun = obs.NewRun("difftrace")
+		obsRun.SetConfig("normal", o.normalPath)
+		obsRun.SetConfig("faulty", o.faultyPath)
+		obsRun.SetConfig("filter", o.filterSpec)
+		obsRun.SetConfig("attr", o.attrSpec)
+		obsRun.SetConfig("linkage", o.linkageName)
+		obsRun.SetConfig("sweep", o.sweep)
+		obsRun.SetConfig("lenient", strconv.FormatBool(o.lenient))
+		obsRun.SetConfig("workers", strconv.Itoa(o.workers))
+	}
+	if o.pprofAddr != "" {
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(errW, "pprof: serving http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint:errcheck // closed via defer on return
+	}
+
+	// Manifest/metrics emission runs on every exit path — a strict read
+	// failure or degraded analysis still leaves its observability record
+	// (the readers count bytes/lines even on the error path).
+	defer func() {
+		if obsRun == nil {
+			return
+		}
+		if o.metrics {
+			obsRun.WriteSummary(errW)
+		}
+		if o.manifestPath != "" {
+			if werr := writeManifest(o.manifestPath, obsRun); werr != nil {
+				fmt.Fprintln(errW, "difftrace: manifest:", werr)
+			}
+		}
+	}()
+
+	rdOpts := trace.ReadOptions{Obs: obsRun}
 	if o.lenient {
 		rdOpts.Mode = trace.Lenient
 	}
 	// Both runs must share one registry so function IDs align.
 	reg := trace.NewRegistry()
+	spIngest := obsRun.StartSpan("ingest")
 	normal, nrep, err := readSet(o.normalPath, reg, rdOpts)
 	if err != nil {
 		return err
@@ -125,6 +190,9 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
+	spIngest.End()
+	obsRun.AddIngest(ingestTotals(nrep))
+	obsRun.AddIngest(ingestTotals(frep))
 	fmt.Fprintf(w, "normal: %s   faulty: %s\n", normal, faulty)
 	writeIngest(w, o, nrep, frep)
 
@@ -141,6 +209,7 @@ func run(w io.Writer, o options) error {
 			Linkage:        linkage,
 			TopK:           o.top,
 			Workers:        o.workers,
+			Obs:            obsRun,
 		})
 		if err != nil {
 			return err
@@ -159,7 +228,7 @@ func run(w io.Writer, o options) error {
 	}
 	rep, err := core.DiffRun(normal, faulty, core.Config{
 		Filter: flt, Attr: ac, Linkage: linkage, BuildLattices: o.lattice,
-		Resilient: o.lenient, Workers: o.workers,
+		Resilient: o.lenient, Workers: o.workers, Obs: obsRun,
 	})
 	if err != nil {
 		return err
@@ -219,13 +288,44 @@ func writeIngest(w io.Writer, o options, reps ...*resilience.IngestReport) {
 		if rep == nil || (!o.ingestReport && rep.Clean()) {
 			continue
 		}
-		// Summary/Render already lead with the source path.
+		// Summary/RenderTable already lead with the source path.
 		if rep.Clean() {
 			fmt.Fprintf(w, "ingest %s\n", rep.Summary())
 		} else {
-			fmt.Fprint(w, "ingest "+rep.Render())
+			fmt.Fprint(w, "ingest "+rep.RenderTable())
 		}
 	}
+}
+
+// ingestTotals folds an IngestReport into the manifest's ingestion entry.
+// obs stays dependency-free, so the conversion lives with the CLI — the one
+// place that holds both ends.
+func ingestTotals(rep *resilience.IngestReport) obs.Ingest {
+	if rep == nil {
+		return obs.Ingest{}
+	}
+	return obs.Ingest{
+		Source:            rep.Source,
+		Lenient:           rep.Lenient,
+		EventsKept:        rep.EventsKept,
+		EventsDropped:     rep.EventsDropped,
+		EventsSynthesized: rep.EventsSynthesized,
+		TracesAffected:    len(rep.Records()),
+		Quarantined:       rep.Quarantined(),
+	}
+}
+
+// writeManifest serializes the run manifest to path.
+func writeManifest(path string, r *obs.Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Manifest().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTriage appends the companion analyses (§VI's related-work views) to

@@ -31,6 +31,7 @@ import (
 	"difftrace/internal/filter"
 	"difftrace/internal/jaccard"
 	"difftrace/internal/nlr"
+	"difftrace/internal/obs"
 	"difftrace/internal/pool"
 	"difftrace/internal/resilience"
 	"difftrace/internal/trace"
@@ -57,6 +58,13 @@ type Config struct {
 	// all share this budget. 0 means runtime.GOMAXPROCS(0); 1 runs the
 	// whole pipeline inline. Output is identical for every value.
 	Workers int
+	// Obs, when non-nil, collects the run's observability picture: stage
+	// spans, NLR interning and per-level counts, pool utilization, and
+	// degraded-stage records (see internal/obs). Instrumentation never
+	// changes the Report, and everything except wall times and worker
+	// counts in the resulting manifest is schedule-independent. Nil (the
+	// default) is a zero-cost fast path.
+	Obs *obs.Run
 }
 
 // workers resolves the Workers knob (0 → GOMAXPROCS).
@@ -159,6 +167,7 @@ func newSideRun(name string, objs []object) *sideRun {
 // levelRun is the per-level scratch state of one DiffRun.
 type levelRun struct {
 	stage string
+	key   string      // obs span segment: "threads" | "processes"
 	sides [2]*sideRun // 0 = normal, 1 = faulty
 	// dead marks a level whose entry stage failed (Resilient runs): its
 	// objects are excluded from summarization and it degrades to
@@ -176,15 +185,21 @@ func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 	if cfg.Attr.Kind == attr.Context && cfg.Filter.DropReturns {
 		return nil, fmt.Errorf("core: caller/callee (ctx) attributes need return events; use a filter spec starting with 0")
 	}
+	run := cfg.Obs
+	spRun := run.StartSpan("diffrun")
+	defer spRun.End()
 	table := nlr.NewTable()
+	table.Observe(run)
 	rep := &Report{Cfg: cfg, LoopTable: table}
 
+	spFilter := run.StartSpan("diffrun/filter")
 	fn := cfg.Filter.ApplySet(normal)
 	ff := cfg.Filter.ApplySet(faulty)
+	spFilter.End()
 
 	levels := []*levelRun{
-		newLevelRun("thread level", threadObjects(fn), threadObjects(ff)),
-		newLevelRun("process level", processObjects(fn), processObjects(ff)),
+		newLevelRun("thread level", "threads", threadObjects(fn), threadObjects(ff)),
+		newLevelRun("process level", "processes", processObjects(fn), processObjects(ff)),
 	}
 
 	// Level entry: historically the first stage of each level's work. In a
@@ -205,16 +220,20 @@ func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 
 	// Phase 1: NLR over every (level, side, object) of the live levels,
 	// in parallel, against a shared deterministic loop table.
+	spSum := run.StartSpan("summarize")
 	if err := summarizeAll(levels, cfg, table); err != nil {
 		return nil, err
 	}
+	spSum.End()
+	run.Counter("nlr.table.bodies").Add(int64(table.Len()))
 
 	// Phase 2: per-level attribute extraction + analysis; the two levels
 	// run concurrently with a divided worker budget.
+	spAn := run.StartSpan("analyze")
 	w := cfg.workers()
 	levelW := pool.Divide(w, len(levels))
 	levelErrs := make([]error, len(levels))
-	pool.Do(w, len(levels), func(i int) {
+	pool.DoObserved(run, "core.levels", w, len(levels), func(i int) {
 		lv := levels[i]
 		if lv.dead {
 			lv.level = emptyLevel()
@@ -236,6 +255,7 @@ func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("core: %s: %w", lv.stage, err)
 		}
 	}
+	spAn.End()
 
 	// Degraded accounting in canonical order: per level, the normal side's
 	// NLR then attribute errors in object order, the faulty side's
@@ -259,13 +279,51 @@ func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 	}
 	rep.Threads = levels[0].level
 	rep.Processes = levels[1].level
+	rep.observe(run, levels)
 	return rep, nil
 }
 
-func newLevelRun(stage string, nObjs, fObjs []object) *levelRun {
+// observe folds the run's structural totals into the manifest: per-level
+// object/attribute/JSM-cell counts, NLR sequence-length distribution, and
+// the degraded-stage list (already in canonical order, so the manifest is
+// schedule-independent). Counters rather than gauges so that sweeps, which
+// share one obs.Run across many DiffRuns, aggregate deterministically.
+func (rep *Report) observe(run *obs.Run, levels []*levelRun) {
+	if run == nil {
+		return
+	}
+	seqLen := run.Histogram("nlr.seq_len")
+	for _, lv := range levels {
+		objects := run.Counter("core." + lv.key + ".objects")
+		failed := run.Counter("core." + lv.key + ".failed")
+		attrsC := run.Counter("core." + lv.key + ".attrs")
+		for _, s := range lv.sides {
+			for i := range s.objs {
+				objects.Add(1)
+				if s.nlrErrs[i] != nil || s.attrErrs[i] != nil {
+					failed.Add(1)
+					continue
+				}
+				attrsC.Add(1)
+				seqLen.Observe(int64(len(s.elems[i])))
+			}
+		}
+		if lv.level != nil && lv.level.JSMD != nil {
+			n := len(lv.level.JSMD.Names)
+			run.Counter("core." + lv.key + ".jsm_cells").Add(int64(n * (n - 1) / 2))
+		}
+	}
+	for _, e := range rep.Degraded {
+		run.AddDegraded(e.Stage, e.Object, e.Err.Error())
+	}
+	run.Counter("core.degraded").Add(int64(len(rep.Degraded)))
+}
+
+func newLevelRun(stage, key string, nObjs, fObjs []object) *levelRun {
 	nObjs, fObjs = union(nObjs, fObjs)
 	return &levelRun{
 		stage: stage,
+		key:   key,
 		sides: [2]*sideRun{newSideRun("normal", nObjs), newSideRun("faulty", fObjs)},
 	}
 }
@@ -302,19 +360,23 @@ func summarizeAll(levels []*levelRun, cfg Config, table *nlr.Table) error {
 		}
 	}
 	w := cfg.workers()
+	run := cfg.Obs
 	prevLen := -1
 	for round := 0; round < maxRounds && table.Len() != prevLen; round++ {
 		prevLen = table.Len()
+		run.Counter("nlr.rounds").Add(1)
 		overlays := make([]*nlr.Table, len(items))
 		elems := make([][]nlr.Element, len(items))
 		roundErrs := make([]*resilience.StageError, len(items))
-		pool.Do(w, len(items), func(i int) {
+		pool.DoObserved(run, "core.summarize", w, len(items), func(i int) {
 			it := items[i]
 			if it.side.nlrErrs[it.idx] != nil {
 				return // failed in an earlier round; stays skipped
 			}
 			o := it.side.objs[it.idx]
 			stage := it.lv.stage + "/" + it.side.name + "/nlr"
+			sp := run.StartSpan("summarize/" + it.lv.key + "/" + it.side.name)
+			defer sp.End()
 			work := func() {
 				fireStage(stage, o.name)
 				ov := nlr.NewOverlay(table)
@@ -367,10 +429,13 @@ func (lv *levelRun) analyze(cfg Config, w int) error {
 			}
 		}
 	}
-	pool.Do(w, len(items), func(i int) {
+	run := cfg.Obs
+	pool.DoObserved(run, "core.attr", w, len(items), func(i int) {
 		it := items[i]
 		o := it.side.objs[it.idx]
 		stage := lv.stage + "/" + it.side.name + "/attr"
+		sp := run.StartSpan("analyze/" + lv.key + "/" + it.side.name + "/attr")
+		defer sp.End()
 		work := func() {
 			fireStage(stage, o.name)
 			if cfg.Attr.Kind == attr.Context {
@@ -408,7 +473,9 @@ func (lv *levelRun) analyze(cfg Config, w int) error {
 	sideW := pool.Divide(w, 2)
 	var analyses [2]*Analysis
 	sideErrs := make([]error, 2)
-	pool.Do(w, 2, func(i int) {
+	pool.DoObserved(run, "core.sides", w, 2, func(i int) {
+		sp := run.StartSpan("analyze/" + lv.key + "/" + lv.sides[i].name + "/build")
+		defer sp.End()
 		analyses[i], sideErrs[i] = lv.sides[i].buildAnalysis(cfg, excluded, sideW)
 	})
 	for _, err := range sideErrs {
@@ -418,6 +485,8 @@ func (lv *levelRun) analyze(cfg Config, w int) error {
 	}
 	normal, faulty := analyses[0], analyses[1]
 
+	spDiff := run.StartSpan("analyze/" + lv.key + "/diff")
+	defer spDiff.End()
 	jsmd, err := jaccard.Diff(faulty.JSM, normal.JSM)
 	if err != nil {
 		return err
@@ -451,6 +520,7 @@ func (s *sideRun) buildAnalysis(cfg Config, excluded map[string]bool, w int) (*A
 	a := &Analysis{NLR: nlrs, Attrs: attrs}
 	if cfg.BuildLattices {
 		a.Lattice = fca.NewLattice()
+		a.Lattice.Observe(cfg.Obs)
 		for _, o := range s.objs {
 			if at, ok := attrs[o.name]; ok {
 				a.Lattice.AddObject(o.name, at)
@@ -458,7 +528,7 @@ func (s *sideRun) buildAnalysis(cfg Config, excluded map[string]bool, w int) (*A
 		}
 		a.JSM = jaccard.FromLattice(a.Lattice)
 	} else {
-		a.JSM = jaccard.NewParallel(attrs, w)
+		a.JSM = jaccard.NewParallelObserved(attrs, w, cfg.Obs)
 	}
 	lk, err := cluster.Build(a.JSM.Distance(), cfg.Linkage)
 	if err != nil {

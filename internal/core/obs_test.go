@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"difftrace/internal/obs"
+	"difftrace/internal/trace"
+)
+
+// TestManifestWorkersGolden is the golden-manifest determinism proof: the
+// same input analyzed at Workers:1 and Workers:8 (each with its own obs run)
+// must produce byte-identical manifests once Scrub removes the fields that
+// legitimately vary (wall times, worker counts, utilization, host). The
+// name contains "Workers" so the Makefile determinism suite picks it up.
+func TestManifestWorkersGolden(t *testing.T) {
+	reg := trace.NewRegistry()
+	normal := collect(t, 16, reg, nil)
+	faulty := collect(t, 16, reg, swapPlan())
+
+	build := func(workers int) []byte {
+		run := obs.NewRun("test")
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Obs = run
+		if _, err := DiffRun(normal, faulty, cfg); err != nil {
+			t.Fatal(err)
+		}
+		m := run.Manifest()
+		obs.Scrub(m)
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	seq := build(1)
+	for _, w := range []int{2, 8} {
+		par := build(w)
+		if !bytes.Equal(seq, par) {
+			t.Fatalf("scrubbed manifest differs between Workers:1 and Workers:%d:\n--- seq ---\n%s\n--- par ---\n%s",
+				w, seq, par)
+		}
+	}
+
+	// The golden bytes must actually carry the pipeline's shape, not an
+	// empty scrubbed shell.
+	for _, want := range []string{
+		`"path": "summarize"`, `"path": "analyze"`,
+		"nlr.intern.miss", "core.threads.jsm_cells", "core.processes.objects",
+		`"site": "core.summarize"`, "nlr.seq_len",
+	} {
+		if !strings.Contains(string(seq), want) {
+			t.Errorf("manifest missing %q", want)
+		}
+	}
+}
+
+// TestObsWorkersReportUnchanged: enabling instrumentation must not perturb
+// the analysis itself — a DiffRun with an obs run attached produces the same
+// Report as one without, at any worker count.
+func TestObsWorkersReportUnchanged(t *testing.T) {
+	reg := trace.NewRegistry()
+	normal := collect(t, 8, reg, nil)
+	faulty := collect(t, 8, reg, swapPlan())
+
+	base := DefaultConfig()
+	base.Workers = 1
+	plain, err := DiffRun(normal, faulty, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 8} {
+		cfg := base
+		cfg.Workers = w
+		cfg.Obs = obs.NewRun("test")
+		instr, err := DiffRun(normal, faulty, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip the obs handles before the structural comparison; the
+		// report embeds its Config, and the loop table carries its
+		// interning counters (Observe(nil) resets them).
+		instr.Cfg.Obs = nil
+		instr.LoopTable.Observe(nil)
+		reportsEqual(t, plain, instr, "instrumented")
+	}
+}
+
+// TestObsDegradedRecorded: a resilient run's isolated stage failures land in
+// the manifest's degraded list in canonical order, with the same entries for
+// any worker count.
+func TestObsDegradedRecorded(t *testing.T) {
+	reg := trace.NewRegistry()
+	normal := collect(t, 8, reg, nil)
+	faulty := collect(t, 8, reg, swapPlan())
+	withHook(t, func(stage, object string) {
+		if object == "3.0" && strings.Contains(stage, "/nlr") {
+			panic("injected NLR blow-up")
+		}
+	})
+
+	build := func(workers int) *obs.Manifest {
+		run := obs.NewRun("test")
+		cfg := DefaultConfig()
+		cfg.Resilient = true
+		cfg.Workers = workers
+		cfg.Obs = run
+		if _, err := DiffRun(normal, faulty, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return run.Manifest()
+	}
+
+	seq := build(1)
+	if len(seq.Degraded) == 0 {
+		t.Fatal("no degraded entries recorded")
+	}
+	found := false
+	for _, d := range seq.Degraded {
+		if d.Object == "3.0" && strings.Contains(d.Err, "injected NLR blow-up") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degraded list missing injected failure: %+v", seq.Degraded)
+	}
+	if got := seq.Counters["core.degraded"]; got != int64(len(seq.Degraded)) {
+		t.Errorf("core.degraded = %d, want %d", got, len(seq.Degraded))
+	}
+
+	par := build(8)
+	if len(par.Degraded) != len(seq.Degraded) {
+		t.Fatalf("degraded count differs across workers: %d vs %d", len(seq.Degraded), len(par.Degraded))
+	}
+	for i := range seq.Degraded {
+		if seq.Degraded[i] != par.Degraded[i] {
+			t.Errorf("degraded[%d] differs: %+v vs %+v", i, seq.Degraded[i], par.Degraded[i])
+		}
+	}
+}

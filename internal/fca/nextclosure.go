@@ -1,5 +1,7 @@
 package fca
 
+import "difftrace/internal/obs"
+
 // NextClosure implements Ganter's batch lattice-construction algorithm: it
 // enumerates every closed intent of the context in lectic order. The paper
 // (§III-B) notes it "requires the whole context to be present in main
@@ -7,6 +9,23 @@ package fca
 // here as the baseline for the Godin-incremental ablation benchmark and as
 // an independent oracle for the incremental lattice in tests.
 func NextClosure(ctx *Context) []*Concept {
+	return NextClosureObserved(ctx, nil)
+}
+
+// NextClosureObserved is NextClosure with construction accounting folded
+// into r: "fca.ganter.closures" counts closure computations (the dominant
+// cost Ganter pays that Godin's incremental insertions avoid — see
+// Lattice.Observe for the matching "fca.godin.steps") and
+// "fca.ganter.concepts" the concepts emitted.
+func NextClosureObserved(ctx *Context, r *obs.Run) []*Concept {
+	closures := r.Counter("fca.ganter.closures")
+	emitted := r.Counter("fca.ganter.concepts")
+	concepts := nextClosure(ctx, closures)
+	emitted.Add(int64(len(concepts)))
+	return concepts
+}
+
+func nextClosure(ctx *Context, closures *obs.Counter) []*Concept {
 	attrs := ctx.Attributes().Sorted() // fixed linear order a_0 < a_1 < ...
 	m := len(attrs)
 	index := make(map[string]int, m)
@@ -25,6 +44,7 @@ func NextClosure(ctx *Context) []*Concept {
 		return s
 	}
 	closure := func(bits []bool) []bool {
+		closures.Add(1)
 		closed := ctx.Closure(toSet(bits))
 		out := make([]bool, m)
 		for a := range closed {

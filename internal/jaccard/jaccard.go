@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"difftrace/internal/fca"
+	"difftrace/internal/obs"
 	"difftrace/internal/pool"
 )
 
@@ -34,6 +35,14 @@ func New(attrs map[string]fca.AttrSet) *JSM {
 // same arithmetic as the sequential path, so the result is bit-identical
 // for any worker count.
 func NewParallel(attrs map[string]fca.AttrSet, workers int) *JSM {
+	return NewParallelObserved(attrs, workers, nil)
+}
+
+// NewParallelObserved is NewParallel with observability folded into r: the
+// row-block loop records its utilization under the "jaccard.rows" pool
+// site, and the "jaccard.cells" counter accumulates the pairwise cells
+// computed (n·(n−1)/2 per matrix). A nil Run is the zero-cost fast path.
+func NewParallelObserved(attrs map[string]fca.AttrSet, workers int, r *obs.Run) *JSM {
 	names := make([]string, 0, len(attrs))
 	for n := range attrs {
 		names = append(names, n)
@@ -44,7 +53,8 @@ func NewParallel(attrs map[string]fca.AttrSet, workers int) *JSM {
 		m[i] = make([]float64, len(names))
 		m[i][i] = 1
 	}
-	pool.Do(workers, len(names), func(i int) {
+	r.Counter("jaccard.cells").Add(int64(len(names) * (len(names) - 1) / 2))
+	pool.DoObserved(r, "jaccard.rows", workers, len(names), func(i int) {
 		row := attrs[names[i]]
 		for j := i + 1; j < len(names); j++ {
 			v := row.Jaccard(attrs[names[j]])

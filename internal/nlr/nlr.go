@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 
+	"difftrace/internal/obs"
 	"difftrace/internal/trace"
 )
 
@@ -103,6 +104,19 @@ type Table struct {
 	// from horizon upward.
 	base    *Table
 	horizon int
+
+	// Interning hit/miss counters (Observe). Nil-safe handles: an
+	// unobserved table counts into nothing at no cost beyond a nil check.
+	obsHit, obsMiss *obs.Counter
+}
+
+// Observe routes the table's interning accounting — "nlr.intern.hit" and
+// "nlr.intern.miss" counters, whose ratio is the paper's cross-trace
+// loop-sharing measure — into r. Overlays inherit their base's counters.
+// Call before the table is shared across goroutines.
+func (t *Table) Observe(r *obs.Run) {
+	t.obsHit = r.Counter("nlr.intern.hit")
+	t.obsMiss = r.Counter("nlr.intern.miss")
 }
 
 // NewTable returns an empty loop table.
@@ -117,7 +131,10 @@ func NewOverlay(base *Table) *Table {
 	if base.base != nil {
 		panic("nlr: overlay of an overlay")
 	}
-	return &Table{ids: make(map[string]int), base: base, horizon: base.Len()}
+	return &Table{
+		ids: make(map[string]int), base: base, horizon: base.Len(),
+		obsHit: base.obsHit, obsMiss: base.obsMiss,
+	}
 }
 
 // bodySig canonically renders a body. Nested loops already carry IDs
@@ -147,14 +164,17 @@ func (t *Table) Intern(body []Element) int {
 	sig := bodySig(body)
 	if t.base != nil && !t.hasLocalRef(body) {
 		if id, ok := t.base.lookup(sig); ok {
+			t.obsHit.Add(1)
 			return id
 		}
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if id, ok := t.ids[sig]; ok {
+		t.obsHit.Add(1)
 		return id
 	}
+	t.obsMiss.Add(1)
 	id := t.horizon + len(t.bodies)
 	t.ids[sig] = id
 	cp := make([]Element, len(body))

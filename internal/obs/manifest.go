@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Manifest is the serialized picture of one run: config knobs, per-stage
+// wall times, the metrics registry, pool utilization per call site,
+// ingestion salvage totals, and degraded stages. Its JSON encoding is
+// stable — maps marshal with sorted keys, lists are emitted in
+// deterministic order — so that two manifests of the same input differ only
+// in the fields Scrub zeroes (timings, worker counts, host info).
+type Manifest struct {
+	Tool       string                       `json:"tool"`
+	Host       *Host                        `json:"host,omitempty"`
+	WallNs     int64                        `json:"wall_ns"`
+	Config     map[string]string            `json:"config,omitempty"`
+	Stages     []StageTiming                `json:"stages,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Pool       []PoolStat                   `json:"pool,omitempty"`
+	Ingest     []Ingest                     `json:"ingest,omitempty"`
+	Degraded   []DegradedEntry              `json:"degraded,omitempty"`
+}
+
+// Host identifies the machine/runtime that produced the manifest.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// StageTiming is one stage path's span aggregate, sorted by path.
+type StageTiming struct {
+	Path   string `json:"path"`
+	Count  int64  `json:"count"`
+	WallNs int64  `json:"wall_ns"`
+}
+
+// PoolStat is one pool.Do call site's utilization, sorted by site. Calls
+// and Items are schedule-independent; Workers and the time fields are not
+// (Scrub zeroes them).
+type PoolStat struct {
+	Site         string  `json:"site"`
+	Calls        int64   `json:"calls"`
+	Items        int64   `json:"items"`
+	Workers      int     `json:"workers"`
+	BusyNs       int64   `json:"busy_ns"`
+	WorkerWallNs int64   `json:"worker_wall_ns"`
+	Utilization  float64 `json:"utilization"`
+}
+
+// HistogramSnapshot is a histogram's state: total count, sum, and the
+// non-empty log₂ buckets in ascending order.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket counts observations v with v <= Le (and v greater than
+// the previous bucket's Le).
+type HistogramBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Manifest snapshots the run. Safe to call while instrumentation is still
+// live, but the intended use is after the pipeline finishes.
+func (r *Run) Manifest() *Manifest {
+	if r == nil {
+		return nil
+	}
+	m := &Manifest{
+		Tool: r.tool,
+		Host: &Host{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		WallNs: int64(time.Since(r.start)),
+	}
+
+	r.mu.Lock()
+	if len(r.config) > 0 {
+		m.Config = make(map[string]string, len(r.config))
+		for k, v := range r.config {
+			m.Config[k] = v
+		}
+	}
+	for path, st := range r.spans {
+		m.Stages = append(m.Stages, StageTiming{Path: path, Count: st.count, WallNs: int64(st.wall)})
+	}
+	for site, p := range r.pools {
+		p.mu.Lock()
+		ps := PoolStat{
+			Site: site, Calls: p.calls, Items: p.items, Workers: p.maxWorkers,
+			BusyNs: int64(p.busy), WorkerWallNs: int64(p.workerWall),
+		}
+		p.mu.Unlock()
+		if ps.WorkerWallNs > 0 {
+			ps.Utilization = float64(ps.BusyNs) / float64(ps.WorkerWallNs)
+		}
+		m.Pool = append(m.Pool, ps)
+	}
+	m.Ingest = append([]Ingest(nil), r.ingests...)
+	m.Degraded = append([]DegradedEntry(nil), r.degraded...)
+	r.mu.Unlock()
+
+	sort.Slice(m.Stages, func(i, j int) bool { return m.Stages[i].Path < m.Stages[j].Path })
+	sort.Slice(m.Pool, func(i, j int) bool { return m.Pool[i].Site < m.Pool[j].Site })
+
+	r.counters.Range(func(k, v any) bool {
+		if m.Counters == nil {
+			m.Counters = make(map[string]int64)
+		}
+		m.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		if m.Gauges == nil {
+			m.Gauges = make(map[string]int64)
+		}
+		m.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		if m.Histograms == nil {
+			m.Histograms = make(map[string]HistogramSnapshot)
+		}
+		m.Histograms[k.(string)] = v.(*Histogram).snapshot()
+		return true
+	})
+	return m
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{Count: h.n, Sum: h.sum}
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := int64(0)
+		if b > 0 {
+			le = 1<<uint(b) - 1
+		}
+		snap.Buckets = append(snap.Buckets, HistogramBucket{Le: le, Count: c})
+	}
+	return snap
+}
+
+// WriteJSON writes the manifest as indented, stable JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Scrub zeroes every manifest field whose value legitimately varies between
+// runs of the same input: wall times, pool busy/idle/utilization, worker
+// counts (including "workers"-suffixed config knobs and gauges, and any
+// "_ns"-suffixed metric), and host info. What remains is a pure function of
+// the input, so golden tests can assert byte-identical scrubbed manifests
+// across worker counts and reruns.
+func Scrub(m *Manifest) {
+	if m == nil {
+		return
+	}
+	m.WallNs = 0
+	m.Host = nil
+	for i := range m.Stages {
+		m.Stages[i].WallNs = 0
+	}
+	for i := range m.Pool {
+		m.Pool[i].Workers = 0
+		m.Pool[i].BusyNs = 0
+		m.Pool[i].WorkerWallNs = 0
+		m.Pool[i].Utilization = 0
+	}
+	scrubKey := func(k string) bool {
+		return k == "workers" || strings.HasSuffix(k, ".workers") || strings.HasSuffix(k, "_ns")
+	}
+	for k := range m.Config {
+		if scrubKey(k) {
+			m.Config[k] = ""
+		}
+	}
+	for k := range m.Gauges {
+		if scrubKey(k) {
+			m.Gauges[k] = 0
+		}
+	}
+	for k := range m.Counters {
+		if scrubKey(k) {
+			m.Counters[k] = 0
+		}
+	}
+}
+
+// WriteSummary renders the human-readable metrics digest the CLI prints
+// under -metrics: stage timings, pool utilization, headline counters, and
+// ingestion/degradation totals.
+func (r *Run) WriteSummary(w io.Writer) {
+	if r == nil {
+		return
+	}
+	m := r.Manifest()
+	fmt.Fprintf(w, "== %s run: %s ==\n", m.Tool, time.Duration(m.WallNs).Round(time.Microsecond))
+	if len(m.Stages) > 0 {
+		fmt.Fprintf(w, "stages (%d):\n", len(m.Stages))
+		for _, st := range m.Stages {
+			fmt.Fprintf(w, "  %-36s ×%-6d %s\n", st.Path, st.Count,
+				time.Duration(st.WallNs).Round(time.Microsecond))
+		}
+	}
+	if len(m.Pool) > 0 {
+		fmt.Fprintln(w, "pool utilization:")
+		for _, p := range m.Pool {
+			fmt.Fprintf(w, "  %-24s calls %-4d items %-6d workers %-3d busy %-10s util %.0f%%\n",
+				p.Site, p.Calls, p.Items, p.Workers,
+				time.Duration(p.BusyNs).Round(time.Microsecond), p.Utilization*100)
+		}
+	}
+	if hit, miss := m.Counters["nlr.intern.hit"], m.Counters["nlr.intern.miss"]; hit+miss > 0 {
+		fmt.Fprintf(w, "nlr interning: %d hits / %d misses (%.1f%% hit)\n",
+			hit, miss, 100*float64(hit)/float64(hit+miss))
+	}
+	if len(m.Counters) > 0 {
+		keys := make([]string, 0, len(m.Counters))
+		for k := range m.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "counters:")
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-36s %d\n", k, m.Counters[k])
+		}
+	}
+	if len(m.Gauges) > 0 {
+		keys := make([]string, 0, len(m.Gauges))
+		for k := range m.Gauges {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "gauges:")
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-36s %d\n", k, m.Gauges[k])
+		}
+	}
+	for _, in := range m.Ingest {
+		fmt.Fprintf(w, "ingest %s: kept %d, dropped %d, synthesized %d (%d traces affected, %d quarantined)\n",
+			in.Source, in.EventsKept, in.EventsDropped, in.EventsSynthesized,
+			in.TracesAffected, in.Quarantined)
+	}
+	if len(m.Degraded) > 0 {
+		fmt.Fprintf(w, "degraded stages: %d\n", len(m.Degraded))
+	}
+}

@@ -1,0 +1,332 @@
+// Package obs is DiffTrace's self-observability layer: hierarchical stage
+// spans, a typed metrics registry (counters, gauges, log-scale histograms),
+// per-call-site worker-pool utilization, ingestion totals, and degraded-stage
+// accounting, all folded into one stable-JSON RunManifest (manifest.go).
+//
+// The paper's value claim is *efficiency* — Θ(K²N) NLR, incremental Godin
+// lattices, parallel JSMs — and this package is how a run proves where its
+// time, memory, and salvage losses actually go, the way Recorder and Pipit
+// ship analysis views of their own tracing pipelines.
+//
+// Design constraints, in order:
+//
+//   - Nil is off. Every method is safe on a nil *Run (and on the nil
+//     *Counter/*Gauge/*Histogram/*PoolSite handles a nil Run returns), and
+//     the nil path does no locking, no allocation, and no time syscalls —
+//     instrumented code never needs an "if obs != nil" guard, and a
+//     disabled pipeline runs at its uninstrumented speed.
+//   - Determinism-transparent. Instrumentation must not change pipeline
+//     output, and the manifest itself must be schedule-independent: spans
+//     aggregate by stage path (sorted at snapshot time), counters and
+//     histograms are commutative sums, and anything that legitimately
+//     varies between runs of the same input — wall times, worker counts,
+//     utilization — is isolated in fields Scrub can zero, so golden tests
+//     can assert byte-identical manifests across worker counts.
+//   - Zero dependencies. Only the standard library, so every layer (nlr,
+//     fca, jaccard, pool, trace, core, rank) can import it without cycles.
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Run is the observability root for one pipeline execution (one DiffRun, one
+// CLI invocation, one sweep). A nil *Run disables all instrumentation.
+// All methods are safe for concurrent use.
+type Run struct {
+	tool  string
+	start time.Time
+
+	mu       sync.Mutex
+	config   map[string]string
+	spans    map[string]*spanStat
+	pools    map[string]*PoolSite
+	ingests  []Ingest
+	degraded []DegradedEntry
+
+	counters sync.Map // name -> *Counter
+	gauges   sync.Map // name -> *Gauge
+	hists    sync.Map // name -> *Histogram
+}
+
+// NewRun starts a run labelled with the producing tool ("difftrace", ...).
+func NewRun(tool string) *Run {
+	return &Run{tool: tool, start: time.Now()}
+}
+
+// SetConfig records one configuration knob (filter spec, linkage, worker
+// budget, ...) for the manifest. Call it from exactly one place per key —
+// typically the CLI — so concurrent pipeline stages never race to name the
+// same knob; values would be last-write-wins and the manifest would lose
+// its schedule independence.
+func (r *Run) SetConfig(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.config == nil {
+		r.config = make(map[string]string)
+	}
+	r.config[key] = value
+	r.mu.Unlock()
+}
+
+// ---- spans ---------------------------------------------------------------
+
+// spanStat aggregates every span observed at one stage path.
+type spanStat struct {
+	count int64
+	wall  time.Duration
+}
+
+// Span is one in-flight timing of a stage. The zero Span (from a nil Run)
+// is inert.
+type Span struct {
+	r     *Run
+	path  string
+	start time.Time
+}
+
+// StartSpan opens a span at the given stage path. Paths are "/"-separated
+// ("summarize/threads/normal"); spans at the same path aggregate (count and
+// total wall time), which is what keeps the manifest deterministic when a
+// stage runs once per object under the pool.
+func (r *Run) StartSpan(path string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, path: path, start: time.Now()}
+}
+
+// End closes the span, folding its wall time into the run.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.r.mu.Lock()
+	if s.r.spans == nil {
+		s.r.spans = make(map[string]*spanStat)
+	}
+	st := s.r.spans[s.path]
+	if st == nil {
+		st = &spanStat{}
+		s.r.spans[s.path] = st
+	}
+	st.count++
+	st.wall += d
+	s.r.mu.Unlock()
+}
+
+// ---- counters / gauges ---------------------------------------------------
+
+// Counter is a monotonically increasing metric. Increments are commutative,
+// so totals are schedule-independent whenever the set of Add calls is.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; safe on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the counter; 0 on a nil handle.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns the named counter, creating it on first use; nil when the
+// run is nil (the handle stays safe to use).
+func (r *Run) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := r.counters.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
+}
+
+// Gauge is a last-value metric. Because Set is last-write-wins, a gauge
+// must only be set from one goroutine (or with a value independent of
+// scheduling) to keep the manifest deterministic; prefer counters inside
+// parallel stages.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value; safe on a nil handle.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value reads the gauge; 0 on a nil handle.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Gauge returns the named gauge, creating it on first use; nil when the run
+// is nil.
+func (r *Run) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges.Load(name); ok {
+		return g.(*Gauge)
+	}
+	g, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return g.(*Gauge)
+}
+
+// ---- histograms ----------------------------------------------------------
+
+// histBuckets is the fixed bucket count: bucket b holds values v with
+// bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b); bucket 0 holds zeros (and
+// clamped negatives). Log-scale with fixed boundaries, so two histograms of
+// the same observations are identical regardless of observation order.
+const histBuckets = 65
+
+// Histogram tallies value magnitudes into fixed log₂ buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histBuckets]int64
+	sum    int64
+	n      int64
+}
+
+// Observe folds one value in; safe on a nil handle.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	h.mu.Lock()
+	h.counts[b]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use; nil when
+// the run is nil.
+func (r *Run) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := r.hists.LoadOrStore(name, &Histogram{})
+	return h.(*Histogram)
+}
+
+// ---- pool utilization ----------------------------------------------------
+
+// PoolSite accumulates worker-pool utilization for one pool.Do call site:
+// how many parallel loops ran there, how many items they processed, and how
+// much of the workers' allotted wall time was spent inside the loop body
+// (busy) versus waiting (the difference to workers×wall).
+type PoolSite struct {
+	mu         sync.Mutex
+	calls      int64
+	items      int64
+	maxWorkers int
+	busy       time.Duration
+	workerWall time.Duration
+}
+
+// Record folds one parallel loop in: it ran n items on up to workers
+// goroutines, spending busy total time in the body over wall elapsed time.
+// Safe on a nil handle.
+func (p *PoolSite) Record(workers, n int, busy, wall time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.calls++
+	p.items += int64(n)
+	if workers > p.maxWorkers {
+		p.maxWorkers = workers
+	}
+	p.busy += busy
+	p.workerWall += time.Duration(workers) * wall
+	p.mu.Unlock()
+}
+
+// Pool returns the accumulator for the named call site, creating it on
+// first use; nil when the run is nil.
+func (r *Run) Pool(site string) *PoolSite {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pools == nil {
+		r.pools = make(map[string]*PoolSite)
+	}
+	p := r.pools[site]
+	if p == nil {
+		p = &PoolSite{}
+		r.pools[site] = p
+	}
+	return p
+}
+
+// ---- ingestion and degradation -------------------------------------------
+
+// Ingest is the folded-in salvage total of one input source (one
+// resilience.IngestReport). obs deliberately does not import resilience:
+// callers copy the totals over, keeping this package dependency-free.
+type Ingest struct {
+	Source            string `json:"source"`
+	Lenient           bool   `json:"lenient"`
+	EventsKept        int    `json:"events_kept"`
+	EventsDropped     int    `json:"events_dropped"`
+	EventsSynthesized int    `json:"events_synthesized"`
+	TracesAffected    int    `json:"traces_affected"`
+	Quarantined       int    `json:"quarantined"`
+}
+
+// AddIngest appends one source's salvage totals. Call in input order
+// (normal before faulty) so the manifest stays deterministic.
+func (r *Run) AddIngest(in Ingest) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ingests = append(r.ingests, in)
+	r.mu.Unlock()
+}
+
+// DegradedEntry is one isolated stage failure a resilient run recovered
+// from (a resilience.StageError, flattened).
+type DegradedEntry struct {
+	Stage  string `json:"stage"`
+	Object string `json:"object,omitempty"`
+	Err    string `json:"err"`
+}
+
+// AddDegraded appends one degraded-stage record. The pipeline emits these
+// in canonical object order, so the manifest list is deterministic.
+func (r *Run) AddDegraded(stage, object, err string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.degraded = append(r.degraded, DegradedEntry{Stage: stage, Object: object, Err: err})
+	r.mu.Unlock()
+}

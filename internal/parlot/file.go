@@ -151,6 +151,13 @@ func ReadSetBinaryOptions(r io.Reader, reg *trace.Registry, opts trace.ReadOptio
 	lenient := opts.Mode == trace.Lenient
 	rep := resilience.NewIngestReport(lenient)
 	set := trace.NewTraceSetWith(reg)
+	if opts.Obs != nil {
+		cr := &countingReader{r: r}
+		r = cr
+		// Bytes/events accounting on every exit path, strict failures
+		// included (lines don't apply to the binary format).
+		defer func() { trace.ObserveIngest(opts.Obs, cr.n, 0, rep, set) }()
+	}
 
 	// fail aborts a strict read; in lenient mode it quarantines the rest of
 	// the file under id and reports success with whatever was salvaged.
@@ -285,6 +292,19 @@ func ReadSetBinaryOptions(r io.Reader, reg *trace.Registry, opts trace.ReadOptio
 		}
 	}
 	return set, rep, nil
+}
+
+// countingReader counts bytes consumed from the underlying reader for the
+// "ingest.bytes" counter.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // sliceByteReader is an allocation-free io.ByteReader over a slice.

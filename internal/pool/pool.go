@@ -5,14 +5,18 @@
 // panics are re-raised in the caller at a deterministic index, so callers
 // can parallelize a stage without changing its observable behaviour.
 //
-// The package depends only on the standard library so every layer —
-// nlr, jaccard, core, rank — can import it without cycles.
+// The package depends only on the standard library and the (equally
+// dependency-free) obs layer, so every layer — nlr, jaccard, core, rank —
+// can import it without cycles.
 package pool
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"difftrace/internal/obs"
 )
 
 // Workers resolves a worker-count knob: n itself when positive, otherwise
@@ -49,6 +53,42 @@ func Divide(total, outer int) int {
 // fn bodies in resilience.Guard instead; Do's re-raise is the non-resilient
 // path where a panic is expected to propagate exactly as in a serial loop.)
 func Do(workers, n int, fn func(i int)) {
+	doPool(workers, n, fn)
+}
+
+// DoObserved is Do with worker busy/idle accounting folded into r under the
+// named call site: each loop records its item count, effective worker
+// count, total busy time inside fn, and elapsed wall time, from which the
+// manifest derives per-site utilization (busy / workers×wall). With a nil
+// Run it is exactly Do — no clocks, no wrappers, no allocations — which is
+// the disabled fast path the pipeline runs by default.
+func DoObserved(r *obs.Run, site string, workers, n int, fn func(i int)) {
+	if r == nil || n <= 0 {
+		doPool(workers, n, fn)
+		return
+	}
+	eff := workers
+	if eff > n {
+		eff = n
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	var busy atomic.Int64
+	start := time.Now()
+	// Record even when fn panics (Do re-raises after all workers drain):
+	// a site that dies mid-loop still shows how far it got.
+	defer func() {
+		r.Pool(site).Record(eff, n, time.Duration(busy.Load()), time.Since(start))
+	}()
+	doPool(workers, n, func(i int) {
+		t0 := time.Now()
+		defer func() { busy.Add(int64(time.Since(t0))) }()
+		fn(i)
+	})
+}
+
+func doPool(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}

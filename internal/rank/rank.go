@@ -16,6 +16,7 @@ import (
 	"difftrace/internal/cluster"
 	"difftrace/internal/core"
 	"difftrace/internal/filter"
+	"difftrace/internal/obs"
 	"difftrace/internal/pool"
 	"difftrace/internal/trace"
 )
@@ -46,6 +47,12 @@ type Request struct {
 	// (Parallel × per-run workers never oversubscribes it); 0 means
 	// runtime.GOMAXPROCS(0). Results are identical for every value.
 	Workers int
+	// Obs, when non-nil, aggregates observability across the whole sweep:
+	// every DiffRun folds its spans and counters into this one run, each
+	// combination gets a "rank/<spec>/<attr>" span, and the sweep loop
+	// records utilization under the "rank.sweep" pool site. Nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Run
 }
 
 // runWorkers resolves the per-run worker budget: the total budget divided
@@ -114,9 +121,12 @@ func Sweep(normal, faulty *trace.TraceSet, req Request) (*Table, error) {
 	rows := make([]Row, len(combos))
 	errs := make([]error, len(combos))
 	runW := req.runWorkers()
+	req.Obs.Counter("rank.combos").Add(int64(len(combos)))
 	runOne := func(i int) {
 		c := combos[i]
-		cfg := core.Config{Filter: c.flt, Attr: c.attr, Linkage: req.Linkage, Workers: runW}
+		sp := req.Obs.StartSpan("rank/" + c.spec + "/" + c.attr.String())
+		defer sp.End()
+		cfg := core.Config{Filter: c.flt, Attr: c.attr, Linkage: req.Linkage, Workers: runW, Obs: req.Obs}
 		rep, err := core.DiffRun(normal, faulty, cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("rank: %s/%s: %w", c.spec, c.attr, err)
@@ -132,7 +142,7 @@ func Sweep(normal, faulty *trace.TraceSet, req Request) (*Table, error) {
 		}
 	}
 
-	pool.Do(req.Parallel, len(combos), runOne)
+	pool.DoObserved(req.Obs, "rank.sweep", req.Parallel, len(combos), runOne)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -23,6 +23,7 @@ package resilience
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -239,6 +240,36 @@ func (r *IngestReport) Summary() string {
 	}
 	return fmt.Sprintf("%ssalvaged: kept %d, dropped %d, synthesized %d (%d traces affected, %d quarantined)",
 		src, r.EventsKept, r.EventsDropped, r.EventsSynthesized, len(r.records), r.Quarantined())
+}
+
+// String implements fmt.Stringer with the one-line Summary, so a report
+// dropped into %v/%s formatting renders readably instead of as a struct
+// dump.
+func (r *IngestReport) String() string { return r.Summary() }
+
+// RenderTable renders the report as an aligned table — one row per affected
+// trace with kept/dropped/synthesized counts, quarantine state, and reason
+// tallies — for the CLI's -ingest-report view. A clean report renders as
+// its summary line only.
+func (r *IngestReport) RenderTable() string {
+	var b strings.Builder
+	b.WriteString(r.Summary())
+	b.WriteByte('\n')
+	if r == nil || r.Clean() {
+		return b.String()
+	}
+	const format = "  %-10s %10s %10s %12s %-12s %s\n"
+	fmt.Fprintf(&b, format, "TRACE", "KEPT", "DROPPED", "SYNTHESIZED", "STATE", "REASONS")
+	for _, rec := range r.Records() {
+		state := "salvaged"
+		if rec.Quarantined {
+			state = "quarantined"
+		}
+		fmt.Fprintf(&b, format, rec.ID,
+			strconv.Itoa(rec.Kept), strconv.Itoa(rec.Dropped), strconv.Itoa(rec.Synthesized),
+			state, rec.reasonSummary())
+	}
+	return b.String()
 }
 
 // Render renders the full multi-line report: the summary plus one line per

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -73,6 +74,54 @@ func TestIngestReportRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("Render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestIngestReportStringer(t *testing.T) {
+	r := NewIngestReport(true)
+	r.Source = "faulty.trace"
+	r.Keep(10)
+	r.Drop("2.1", UnknownKind, 2)
+	// fmt.Stringer renders the one-line summary, not a struct dump.
+	got := fmt.Sprintf("%v", r)
+	if got != r.Summary() || !strings.Contains(got, "faulty.trace: salvaged") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestIngestReportRenderTable(t *testing.T) {
+	r := NewIngestReport(true)
+	r.Source = "faulty.trace"
+	r.Keep(5)
+	r.Drop("2.1", UnknownKind, 2)
+	r.Synthesize("2.1", AutoClosedCall, 1)
+	r.Quarantine("3.0", BadHeader)
+	r.Trace("2.1").Kept = 5
+
+	out := r.RenderTable()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // summary + header + 2 trace rows
+		t.Fatalf("RenderTable = %d lines, want 4:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"TRACE", "KEPT", "DROPPED", "SYNTHESIZED", "STATE", "REASONS"} {
+		if !strings.Contains(lines[1], want) {
+			t.Errorf("header missing %q: %s", want, lines[1])
+		}
+	}
+	for _, want := range []string{"2.1", "salvaged", "auto-closed-call×1, unknown-kind×2"} {
+		if !strings.Contains(lines[2], want) {
+			t.Errorf("row missing %q: %s", want, lines[2])
+		}
+	}
+	if !strings.Contains(lines[3], "quarantined") || !strings.Contains(lines[3], "3.0") {
+		t.Errorf("quarantine row wrong: %s", lines[3])
+	}
+
+	// A clean report collapses to its summary line.
+	clean := NewIngestReport(false)
+	clean.Keep(7)
+	if got := clean.RenderTable(); strings.Contains(got, "TRACE") || !strings.Contains(got, "clean") {
+		t.Errorf("clean RenderTable = %q", got)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"difftrace/internal/obs"
 	"difftrace/internal/resilience"
 )
 
@@ -100,6 +101,26 @@ type ReadOptions struct {
 	MaxEventsPerTrace int
 	// MaxTraces caps distinct traces; 0 means unlimited.
 	MaxTraces int
+	// Obs, when non-nil, collects ingestion counters — "ingest.bytes",
+	// "ingest.lines", "ingest.events", "ingest.dropped" — and the
+	// "ingest.trace_events" per-trace size histogram. Populated in Strict
+	// mode too (a clean strict read still reports its bytes/lines/events),
+	// so manifests account for ingestion on the non-lenient path as well.
+	Obs *obs.Run
+}
+
+// countingReader counts bytes consumed from the underlying reader, so the
+// "ingest.bytes" counter reflects actual input volume (including discarded
+// and quarantined lines) without touching the parse hot path.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (o ReadOptions) withDefaults() ReadOptions {
@@ -194,6 +215,11 @@ func ReadSetTextOptions(r io.Reader, reg *Registry, opts ReadOptions) (*TraceSet
 	lenient := opts.Mode == Lenient
 	rep := resilience.NewIngestReport(lenient)
 	s := NewTraceSetWith(reg)
+	var cr *countingReader
+	if opts.Obs != nil {
+		cr = &countingReader{r: r}
+		r = cr
+	}
 	lr := &lineReader{br: bufio.NewReaderSize(r, 64<<10), max: opts.MaxLineBytes}
 
 	var (
@@ -209,6 +235,15 @@ func ReadSetTextOptions(r io.Reader, reg *Registry, opts ReadOptions) (*TraceSet
 		stacks = map[ThreadID][]uint32{}
 		marked = map[ThreadID]bool{}
 	}
+	// Ingestion accounting runs on every exit path — a strict read that
+	// fails mid-file still reports the bytes/lines/events it got through.
+	defer func() {
+		var n int64
+		if cr != nil {
+			n = cr.n
+		}
+		ObserveIngest(opts.Obs, n, int64(lineno), rep, s)
+	}()
 	// curName names the trace for error messages and salvage records.
 	curName := func() string {
 		if cur != nil {
@@ -394,6 +429,27 @@ func autoClose(s *TraceSet, stacks map[ThreadID][]uint32, marked map[ThreadID]bo
 		}
 		rep.Synthesize(id.String(), resilience.AutoClosedCall, len(st))
 		t.Truncated = true
+	}
+}
+
+// ObserveIngest folds one read's totals into r's ingestion counters and the
+// per-trace size histogram (nil-safe, shared by the text and ParLOT binary
+// readers). It runs for strict reads too: a clean non-lenient read still
+// reports its bytes, lines, and events, so manifests always carry
+// ingestion totals.
+func ObserveIngest(r *obs.Run, bytes, lines int64, rep *resilience.IngestReport, s *TraceSet) {
+	if r == nil {
+		return
+	}
+	r.Counter("ingest.bytes").Add(bytes)
+	r.Counter("ingest.lines").Add(lines)
+	r.Counter("ingest.events").Add(int64(rep.EventsKept))
+	r.Counter("ingest.dropped").Add(int64(rep.EventsDropped))
+	r.Counter("ingest.synthesized").Add(int64(rep.EventsSynthesized))
+	r.Counter("ingest.quarantined_traces").Add(int64(rep.Quarantined()))
+	h := r.Histogram("ingest.trace_events")
+	for _, id := range s.IDs() {
+		h.Observe(int64(s.Traces[id].Len()))
 	}
 }
 
