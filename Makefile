@@ -3,7 +3,7 @@
 # corrupt-input fuzz seed corpora.
 GO ?= go
 
-.PHONY: all build vet test race determinism bench profile fuzz-seeds fuzz check
+.PHONY: all build vet lint test race determinism bench profile fuzz-seeds fuzz check
 
 all: build
 
@@ -12,6 +12,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant static analysis: difftracelint loads and type-checks
+# every package in the module and proves the determinism/panic/concurrency
+# discipline at compile time (see DESIGN.md §9). Exits non-zero on any
+# unsuppressed diagnostic, including malformed //lint:allow directives.
+lint:
+	$(GO) run ./cmd/difftracelint ./...
 
 test:
 	$(GO) test ./...
@@ -67,4 +74,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadSetText -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzReadSetBinary -fuzztime=30s ./internal/parlot
 
-check: vet build test race determinism fuzz-seeds
+check: vet build lint test race determinism fuzz-seeds

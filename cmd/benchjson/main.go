@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -64,22 +65,35 @@ func main() {
 		}
 		return
 	}
-	if !*force {
-		if err := guardOverwrite(*out, doc); err != nil {
-			fatal(err)
+	if err := writeFile(*out, doc, *force); err != nil {
+		fatal(err)
+	}
+}
+
+// writeFile writes the document to path, applying the baseline-shrink guard
+// unless force is set. Parent directories are created as needed: profiles/
+// is gitignored, so a fresh clone lacks it, and the first `make bench`
+// after checkout must not fail on the missing directory.
+func writeFile(path string, doc *document, force bool) error {
+	if !force {
+		if err := guardOverwrite(path, doc); err != nil {
+			return err
 		}
 	}
-	f, err := os.Create(*out)
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := writeDoc(f, doc); err != nil {
 		f.Close()
-		fatal(err)
+		return err
 	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
+	return f.Close()
 }
 
 func fatal(err error) {

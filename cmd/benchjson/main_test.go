@@ -99,3 +99,28 @@ func TestGuardOverwrite(t *testing.T) {
 		t.Fatalf("corrupt baseline should not be guarded: %v", err)
 	}
 }
+
+// TestWriteFileCreatesParentDirs covers the fresh-clone case: -out
+// profiles/BENCH.json must create the gitignored profiles/ directory chain
+// instead of failing.
+func TestWriteFileCreatesParentDirs(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profiles", "nested", "BENCH.json")
+	if err := writeFile(path, doc, false); err != nil {
+		t.Fatalf("writeFile into missing parent dirs: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got document
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("written document is not valid JSON: %v", err)
+	}
+	if len(got.Benchmarks) != len(doc.Benchmarks) {
+		t.Fatalf("round-tripped %d benchmarks, want %d", len(got.Benchmarks), len(doc.Benchmarks))
+	}
+}

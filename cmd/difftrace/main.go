@@ -155,6 +155,7 @@ func run(w io.Writer, o options) error {
 		}
 		defer ln.Close()
 		fmt.Fprintf(errW, "pprof: serving http://%s/debug/pprof/\n", ln.Addr())
+		//lint:allow nakedgoroutine pprof debug server rides outside the pipeline; it is bounded by the listener closed on return, not by the Workers budget
 		go http.Serve(ln, nil) //nolint:errcheck // closed via defer on return
 	}
 

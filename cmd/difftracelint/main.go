@@ -1,0 +1,90 @@
+// difftracelint runs the project-invariant static analyzer over every
+// package in the module and reports violations of the determinism, panic,
+// and concurrency discipline the DiffTrace pipeline depends on.
+//
+//	go run ./cmd/difftracelint ./...          # text diagnostics, exit 1 on findings
+//	go run ./cmd/difftracelint -json ./...    # machine-readable JSON array
+//	go run ./cmd/difftracelint -list          # registered checks and their invariants
+//	go run ./cmd/difftracelint -checks maprange,errwrap ./...
+//
+// The package pattern argument is accepted for familiarity but the tool
+// always analyzes the whole module: the invariants are module-wide (a naked
+// goroutine is a violation wherever it hides), and whole-module loading is
+// what lets the config table express "only internal/pool may do X".
+//
+// Exit codes: 0 clean, 1 unsuppressed diagnostics, 2 load/usage error.
+// Suppress a single finding with `//lint:allow check-name reason` on the
+// offending line or the line above; suppress a package subtree by editing
+// the table in internal/lint/config.go. See DESIGN.md §9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"difftrace/internal/lint"
+	"difftrace/internal/lint/checks"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("difftracelint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of file:line text")
+	sel := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	dir := fs.String("C", ".", "directory whose enclosing module is analyzed")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	active := checks.All()
+	if *sel != "" {
+		var err error
+		active, err = checks.ByName(strings.Split(*sel, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "difftracelint:", err)
+			return 2
+		}
+	}
+	if *list {
+		for _, c := range active {
+			fmt.Printf("%-16s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "difftracelint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "difftracelint:", err)
+		return 2
+	}
+
+	runner := lint.NewRunner(active, lint.ProjectConfig(), loader.ModRoot)
+	diags := runner.Run(pkgs)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "difftracelint:", err)
+			return 2
+		}
+	} else if err := lint.WriteText(os.Stdout, diags); err != nil {
+		fmt.Fprintln(os.Stderr, "difftracelint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "difftracelint: %d finding(s) across %d package(s), %d check(s)\n",
+			len(diags), len(pkgs), len(active))
+		return 1
+	}
+	return 0
+}

@@ -25,7 +25,7 @@ package ilcs
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand" //lint:allow wallclock seeded per (rank,tid) from Config.Seed only — worker RNG streams are a pure function of the config
 	"runtime"
 	"sync"
 	"sync/atomic"

@@ -16,7 +16,7 @@ package oddeven
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //lint:allow wallclock seeded from Config.Seed only — the generated trace is a pure function of the config
 	"sync"
 
 	"difftrace/internal/faults"

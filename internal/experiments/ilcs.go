@@ -203,7 +203,10 @@ func Figure7(w io.Writer) (*Outcome, error) {
 		return nil, err
 	}
 	cfgA := core.DefaultConfig()
-	cfgA.Filter = mustSpec("11.mem.ompcrit.cust.0K10", ilcsCustom...)
+	cfgA.Filter, err = specFilter("11.mem.ompcrit.cust.0K10", ilcsCustom...)
+	if err != nil {
+		return nil, err
+	}
 	cfgA.Attr = attr.Config{Kind: attr.Single, Freq: attr.NoFreq}
 	repA, err := core.DiffRun(normal, faultyA, cfgA)
 	if err != nil {
@@ -234,7 +237,10 @@ func Figure7(w io.Writer) (*Outcome, error) {
 		return nil, err
 	}
 	cfgB := core.DefaultConfig()
-	cfgB.Filter = mustSpec("11.mpi.cust.0K10", ilcsCustom...)
+	cfgB.Filter, err = specFilter("11.mpi.cust.0K10", ilcsCustom...)
+	if err != nil {
+		return nil, err
+	}
 	repB, err := core.DiffRun(normal, faultyB, cfgB)
 	if err != nil {
 		return nil, err
@@ -271,8 +277,12 @@ func Figure7(w io.Writer) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	fC, err := specFilter("11.mem.ompcrit.cust.0K10", ilcsCustom...)
+	if err != nil {
+		return nil, err
+	}
 	repC, err := core.DiffRun(normalC, faultyC, core.Config{
-		Filter:  mustSpec("11.mem.ompcrit.cust.0K10", ilcsCustom...),
+		Filter:  fC,
 		Attr:    attr.Config{Kind: attr.Single, Freq: attr.Actual},
 		Linkage: cluster.Ward,
 	})

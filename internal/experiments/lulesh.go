@@ -11,13 +11,15 @@ import (
 	"difftrace/internal/trace"
 )
 
-// mustSpec parses a filter spec that is known-good at compile time.
-func mustSpec(spec string, custom ...string) *filter.Filter {
+// specFilter parses a filter spec that is expected to be well-formed at
+// compile time; a failure surfaces as a validated error (wrapped so callers
+// can errors.Is against filter parse errors), per the panic discipline.
+func specFilter(spec string, custom ...string) (*filter.Filter, error) {
 	f, err := filter.ParseSpec(spec, custom...)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("experiments: bad built-in filter spec %q: %w", spec, err)
 	}
-	return f
+	return f, nil
 }
 
 // LULESHStats reproduces the §V trace statistics: distinct function calls

@@ -1,0 +1,79 @@
+package checks_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"difftrace/internal/lint"
+	"difftrace/internal/lint/checks"
+	"difftrace/internal/lint/checks/errwrap"
+	"difftrace/internal/lint/checks/maprange"
+	"difftrace/internal/lint/checks/nakedgoroutine"
+	"difftrace/internal/lint/checks/nilreceiver"
+	"difftrace/internal/lint/checks/panicdiscipline"
+	"difftrace/internal/lint/checks/wallclock"
+	"difftrace/internal/lint/linttest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("..", "testdata", "src", name)
+}
+
+// Each fixture demonstrates at least one caught violation (want comments)
+// and at least one allowed pattern (clean idiom or //lint:allow escape).
+func TestMaprange(t *testing.T)        { linttest.Run(t, maprange.Check, fixture("maprange")) }
+func TestWallclock(t *testing.T)       { linttest.Run(t, wallclock.Check, fixture("wallclock")) }
+func TestNakedgoroutine(t *testing.T)  { linttest.Run(t, nakedgoroutine.Check, fixture("nakedgoroutine")) }
+func TestPanicdiscipline(t *testing.T) { linttest.Run(t, panicdiscipline.Check, fixture("panicdiscipline")) }
+func TestNilreceiver(t *testing.T)     { linttest.Run(t, nilreceiver.Check, fixture("nilreceiver")) }
+func TestErrwrap(t *testing.T)         { linttest.Run(t, errwrap.Check, fixture("errwrap")) }
+
+// TestJSONGolden pins the -json output shape: all checks over the jsonout
+// fixture must serialize byte-identically to the checked-in golden file.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/lint/checks -run JSONGolden.
+func TestJSONGolden(t *testing.T) {
+	diags := linttest.Diagnostics(t, checks.All(), fixture("jsonout"))
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("..", "testdata", "golden", "jsonout.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from golden\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRegistryNames pins the registry: six invariants, stable names, every
+// check documented.
+func TestRegistryNames(t *testing.T) {
+	want := []string{"errwrap", "maprange", "nakedgoroutine", "nilreceiver", "panicdiscipline", "wallclock"}
+	all := checks.All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d checks, want %d", len(all), len(want))
+	}
+	for i, c := range all {
+		if c.Name != want[i] {
+			t.Errorf("check %d is %q, want %q", i, c.Name, want[i])
+		}
+		if c.Doc == "" {
+			t.Errorf("check %q has no Doc", c.Name)
+		}
+	}
+	if _, err := checks.ByName([]string{"maprange", "errwrap"}); err != nil {
+		t.Errorf("ByName on known checks: %v", err)
+	}
+	if _, err := checks.ByName([]string{"nope"}); err == nil {
+		t.Error("ByName accepted an unknown check")
+	}
+}

@@ -1,0 +1,58 @@
+// Package errwrap proves the validated-error invariant end to end: once
+// panics became errors (PR 1), callers triage failures with errors.Is/As —
+// which only works if every fmt.Errorf that carries an error operand wraps
+// it with %w instead of flattening it to text with %v/%s.
+//
+// The check flags fmt.Errorf calls whose argument list contains a value of
+// type error while the (literal) format string has no %w verb. Non-literal
+// formats are skipped — the checker cannot see the verbs.
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"difftrace/internal/lint"
+)
+
+// Check is the registered errwrap analyzer.
+var Check = &lint.Check{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error operand uses %w so errors.Is/As keep working through the wrap",
+	Run:  run,
+}
+
+func run(p *lint.Pass) {
+	p.InspectFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := p.PkgFuncCall(call, "fmt"); !ok || name != "Errorf" || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil || strings.Contains(format, "%w") {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			t := p.TypeOf(arg)
+			if t == nil || t == types.Typ[types.UntypedNil] {
+				continue
+			}
+			if types.AssignableTo(t, lint.ErrorType) {
+				p.Reportf(call.Pos(),
+					"fmt.Errorf flattens an error operand with %%v/%%s — use %%w so errors.Is/As see through the wrap")
+				break
+			}
+		}
+		return true
+	})
+}

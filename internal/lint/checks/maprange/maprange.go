@@ -1,0 +1,181 @@
+// Package maprange proves the determinism invariant behind nlr.Table.Absorb
+// and the stable-JSON manifest: iterating a Go map yields a random order, so
+// a `for range` over a map whose body feeds an ordered sink — appending to a
+// slice, writing a builder/writer, or fmt-printing — silently injects
+// schedule-dependent output unless the collected data is sorted into a
+// canonical order before it is used.
+//
+// The check flags a range-over-map when its body has an ordered-output
+// effect and no sort.*/slices.Sort* call in the enclosing function touches
+// the slice being built. The collect-then-sort idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// is therefore clean, while appending to a never-sorted slice, writing a
+// strings.Builder, or calling fmt.Fprintf inside the loop is flagged.
+// Commutative folds (sums, counters, map-to-map copies) have no ordered
+// sink and are never flagged.
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"difftrace/internal/lint"
+)
+
+// Check is the registered maprange analyzer.
+var Check = &lint.Check{
+	Name: "maprange",
+	Doc:  "range over a map must not feed an ordered sink (slice, writer, printer) without a canonical sort",
+	Run:  run,
+}
+
+func run(p *lint.Pass) {
+	// Walk per function so "is the built slice ever sorted?" has a scope to
+	// search. Nested FuncLits get their own scope: a sort in the outer
+	// function does not bless an append inside a closure that escapes.
+	p.InspectFiles(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil {
+			checkFunc(p, body)
+		}
+		return true
+	})
+}
+
+// checkFunc examines every range-over-map directly inside body (not inside
+// nested function literals — those are visited as their own scope).
+func checkFunc(p *lint.Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		if t := p.TypeOf(rng.X); t == nil {
+			return
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkRange(p, body, rng)
+	})
+}
+
+// inspectShallow walks n but does not descend into function literals.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// checkRange classifies the loop body's ordered-output effects and reports
+// the ones no canonical sort redeems.
+func checkRange(p *lint.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	var appendTargets []types.Object // slices built element-by-element
+	directSink := ""                 // writer/printer effect description
+
+	inspectShallow(rng.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, ...) — remember x so the sort search can look
+			// for it after the loop.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !p.IsBuiltinCall(call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := p.ObjectOf(id); obj != nil {
+						appendTargets = append(appendTargets, obj)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if directSink == "" {
+				directSink = sinkCall(p, n)
+			}
+		}
+	})
+
+	if directSink != "" {
+		p.Reportf(rng.Pos(), "map iteration %s in map order — emit via sorted keys instead", directSink)
+		return
+	}
+	for _, obj := range appendTargets {
+		if !sortedAfter(p, fnBody, rng, obj) {
+			p.Reportf(rng.Pos(),
+				"map iteration appends to %q which is never sorted in this function — map order leaks into the slice",
+				obj.Name())
+			return // one report per loop is enough
+		}
+	}
+}
+
+// sinkCall reports a direct ordered sink: fmt printing or Write* methods on
+// a builder/buffer/writer.
+func sinkCall(p *lint.Pass, call *ast.CallExpr) string {
+	if name, ok := p.PkgFuncCall(call, "fmt"); ok {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "calls fmt." + name
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		// Only count method calls (a selection with a receiver), so a
+		// package-level function named WriteString elsewhere doesn't trip.
+		if selInfo, ok := p.Pkg.Info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+			return "calls " + sel.Sel.Name + " on a writer"
+		}
+	}
+	return ""
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort* call
+// anywhere in the enclosing function outside the loop itself. "Anywhere in
+// the function" is a deliberate approximation of dominance: the project
+// idiom always sorts immediately after collecting, and a sort on any path
+// marks the author's intent to canonicalize.
+func sortedAfter(p *lint.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	inspectShallow(fnBody, func(n ast.Node) {
+		if found || n == rng {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if _, isSort := p.PkgFuncCall(call, "sort"); !isSort {
+			if _, isSlices := p.PkgFuncCall(call, "slices"); !isSlices {
+				return
+			}
+		}
+		for _, arg := range call.Args {
+			if p.UsesObject(arg, obj) {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}

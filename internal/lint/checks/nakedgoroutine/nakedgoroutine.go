@@ -1,0 +1,33 @@
+// Package nakedgoroutine proves the bounded-concurrency invariant: all
+// pipeline parallelism flows through internal/pool so that core.Config.
+// Workers is a real budget — pool.Divide can split it across nested stages
+// only if no stage smuggles in goroutines of its own. A naked `go`
+// statement outside the pool is unbudgeted concurrency.
+//
+// Simulated application concurrency (the omp thread model, mpi ranks that
+// must all be runnable for deadlock detection) is the sanctioned exception;
+// each such `go` carries a //lint:allow nakedgoroutine with the reason.
+package nakedgoroutine
+
+import (
+	"go/ast"
+
+	"difftrace/internal/lint"
+)
+
+// Check is the registered nakedgoroutine analyzer.
+var Check = &lint.Check{
+	Name: "nakedgoroutine",
+	Doc:  "goroutines start only in internal/pool — everything else draws from the Workers budget",
+	Run:  run,
+}
+
+func run(p *lint.Pass) {
+	p.InspectFiles(func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			p.Reportf(g.Pos(),
+				"goroutine started outside internal/pool — route it through pool.Do so the Workers budget holds")
+		}
+		return true
+	})
+}

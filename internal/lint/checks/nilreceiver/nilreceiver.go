@@ -1,0 +1,98 @@
+// Package nilreceiver proves the nil-off observability contract: every
+// exported pointer-receiver method on an internal/obs type must begin with
+// a nil-receiver guard, so a nil *Run (instrumentation disabled) costs
+// nothing and never panics. The project config restricts this check to
+// internal/obs via the Only table — it is an API promise of that package,
+// not a global style rule.
+//
+// Accepted guard shapes for a method on receiver r: a first statement of
+// the form `if r == nil { ... }`, `if r == nil || <more> { ... }`, or the
+// inverted whole-body wrap `if r != nil { ... }`. Methods with empty bodies
+// and unexported methods are exempt.
+package nilreceiver
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"difftrace/internal/lint"
+)
+
+// Check is the registered nilreceiver analyzer.
+var Check = &lint.Check{
+	Name: "nilreceiver",
+	Doc:  "exported pointer-receiver methods on obs types open with a nil-receiver guard (nil is off)",
+	Run:  run,
+}
+
+func run(p *lint.Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if fn.Body == nil || len(fn.Body.List) == 0 {
+				continue // empty body cannot dereference anything
+			}
+			recv := fn.Recv.List[0]
+			if _, ok := recv.Type.(*ast.StarExpr); !ok {
+				continue // value receiver: a nil pointer cannot reach it
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				p.Reportf(fn.Pos(),
+					"exported method %s has an unnamed pointer receiver — it cannot guard against nil, but nil must be off",
+					fn.Name.Name)
+				continue
+			}
+			recvObj := p.Pkg.Info.Defs[recv.Names[0]]
+			if !startsWithNilGuard(p, fn.Body.List[0], recvObj) {
+				p.Reportf(fn.Pos(),
+					"exported method %s on pointer receiver %q must begin with `if %s == nil` — the nil-off contract",
+					fn.Name.Name, recv.Names[0].Name, recv.Names[0].Name)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard accepts a leading `if recv == nil ...` statement,
+// including guards widened with || (e.g. `if r == nil || r.off`), and the
+// inverted form `if recv != nil { <body> }`.
+func startsWithNilGuard(p *lint.Pass, first ast.Stmt, recvObj types.Object) bool {
+	ifs, ok := first.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if bin, ok := ifs.Cond.(*ast.BinaryExpr); ok && bin.Op == token.NEQ {
+		if isRecvNilPair(p, bin.X, bin.Y, recvObj) || isRecvNilPair(p, bin.Y, bin.X, recvObj) {
+			return true
+		}
+	}
+	return condHasNilCompare(p, ifs.Cond, recvObj)
+}
+
+func condHasNilCompare(p *lint.Pass, cond ast.Expr, recvObj types.Object) bool {
+	switch e := cond.(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return condHasNilCompare(p, e.X, recvObj) || condHasNilCompare(p, e.Y, recvObj)
+		}
+		if e.Op != token.EQL {
+			return false
+		}
+		return isRecvNilPair(p, e.X, e.Y, recvObj) || isRecvNilPair(p, e.Y, e.X, recvObj)
+	case *ast.ParenExpr:
+		return condHasNilCompare(p, e.X, recvObj)
+	}
+	return false
+}
+
+func isRecvNilPair(p *lint.Pass, a, b ast.Expr, recvObj types.Object) bool {
+	id, ok := a.(*ast.Ident)
+	if !ok || p.ObjectOf(id) == nil || p.ObjectOf(id) != recvObj {
+		return false
+	}
+	nilID, ok := b.(*ast.Ident)
+	return ok && nilID.Name == "nil"
+}

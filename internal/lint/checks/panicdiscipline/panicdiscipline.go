@@ -1,0 +1,36 @@
+// Package panicdiscipline proves the degraded-not-dead invariant from the
+// resilience PR: corrupt input and per-object failures surface as validated
+// errors (or resilience.StageError isolation), never as a process-killing
+// panic. The only sanctioned panic site is internal/pool's deterministic
+// re-raise, which forwards a worker's panic to the caller at a
+// schedule-independent index.
+//
+// Unreachable-by-construction invariant violations (a caller misusing an
+// API in a way no input can trigger) may keep their panic under a
+// //lint:allow panicdiscipline explaining why it is caller-bug-only.
+package panicdiscipline
+
+import (
+	"go/ast"
+
+	"difftrace/internal/lint"
+)
+
+// Check is the registered panicdiscipline analyzer.
+var Check = &lint.Check{
+	Name: "panicdiscipline",
+	Doc:  "panic() lives only in internal/pool's re-raise; everything else returns validated errors",
+	Run:  run,
+}
+
+func run(p *lint.Pass) {
+	p.InspectFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !p.IsBuiltinCall(call, "panic") {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"panic outside internal/pool — return a validated error (or isolate via resilience.Guard) so degraded inputs stay degraded, not dead")
+		return true
+	})
+}

@@ -1,0 +1,33 @@
+package checks_test
+
+import (
+	"testing"
+
+	"difftrace/internal/lint"
+	"difftrace/internal/lint/checks"
+)
+
+// TestSelfCheck is the enforced-by-construction gate: the analyzer must run
+// clean — zero unsuppressed diagnostics — over every package of this module
+// under the project config. It is the same invocation `make lint` runs, so
+// a regression fails `go test` and CI even before the lint target.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source (a few seconds); run without -short")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 30 {
+		t.Fatalf("loaded only %d packages — module discovery is broken", len(pkgs))
+	}
+	runner := lint.NewRunner(checks.All(), lint.ProjectConfig(), loader.ModRoot)
+	for _, d := range runner.Run(pkgs) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,56 @@
+// Package wallclock proves the Scrub-isolation invariant: schedule-varying
+// values — wall-clock reads and PRNG state — may only enter the pipeline
+// where the manifest already quarantines them (internal/obs aggregates wall
+// time into scrubbed fields, internal/pool measures its own utilization).
+// Anywhere else, a time.Now/time.Since call or a math/rand import is a
+// nondeterminism leak waiting to flip a golden test.
+//
+// Seeded, deterministic PRNG use (trace synthesis, chaos operators) is the
+// sanctioned exception — annotate the import with
+// //lint:allow wallclock <why the seed makes it deterministic>.
+package wallclock
+
+import (
+	"go/ast"
+	"strconv"
+
+	"difftrace/internal/lint"
+)
+
+// Check is the registered wallclock analyzer.
+var Check = &lint.Check{
+	Name: "wallclock",
+	Doc:  "time.Now/time.Since and math/rand stay inside internal/obs and internal/pool (or carry a seeded-determinism allow)",
+	Run:  run,
+}
+
+func run(p *lint.Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(),
+					"import of %s outside obs/pool — randomness is schedule-varying unless seeded; annotate the seed discipline or move it",
+					path)
+			}
+		}
+	}
+	p.InspectFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := p.PkgFuncCall(call, "time"); ok {
+			switch name {
+			case "Now", "Since", "Until":
+				p.Reportf(call.Pos(),
+					"time.%s outside obs/pool — wall time must stay in Scrub-isolated fields or the manifest loses schedule independence",
+					name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,27 @@
+package lint
+
+// ProjectConfig is the invariant allowlist table for this repository. The
+// table is the contract: each entry names the one place a pattern is the
+// implementation of an invariant rather than a violation of it. Everything
+// else needs an inline //lint:allow with a reason.
+func ProjectConfig() *Config {
+	return &Config{
+		Exempt: map[string][]string{
+			// The clock and the PRNG live where their output is already
+			// Scrub-isolated: obs owns wall time (manifest WallNs is a
+			// scrubbed field), pool measures its own utilization.
+			"wallclock": {"internal/obs", "internal/pool"},
+			// All pipeline concurrency flows through the bounded pool so
+			// Workers budgets hold; only the pool may start goroutines.
+			"nakedgoroutine": {"internal/pool"},
+			// pool re-raises worker panics deterministically (lowest index
+			// wins) — the one sanctioned panic site.
+			"panicdiscipline": {"internal/pool"},
+		},
+		Only: map[string][]string{
+			// The nil-off contract is an obs API promise: every exported
+			// pointer-receiver method must begin with a nil-receiver guard.
+			"nilreceiver": {"internal/obs"},
+		},
+	}
+}

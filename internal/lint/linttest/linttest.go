@@ -1,0 +1,103 @@
+// Package linttest is the fixture harness for difftracelint checks: it
+// loads a testdata package, runs one check over it with no project config
+// (so exemption tables don't mask the check under test), and compares the
+// diagnostics against `// want "regexp"` expectation comments, in the
+// spirit of golang.org/x/tools' analysistest but stdlib-only.
+//
+// A want comment binds to its own line: every diagnostic must be matched
+// by a want on its line, and every want must match at least one diagnostic.
+// //lint:allow directives in fixtures are honored, which is how each
+// fixture demonstrates its check's sanctioned-escape pattern.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"difftrace/internal/lint"
+)
+
+// wantRe accepts both quoting styles: // want "..." and // want `...`.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(\".*\"|`[^`]*`)\\s*$")
+
+// Run loads fixtureDir as a standalone package and checks check against
+// its want comments.
+func Run(t *testing.T, check *lint.Check, fixtureDir string) {
+	t.Helper()
+	diags := Diagnostics(t, []*lint.Check{check}, fixtureDir)
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	files, err := filepath.Glob(filepath.Join(fixtureDir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pat, err := strconv.Unquote(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: unparseable want comment %s", path, i+1, m[1])
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
+			}
+			wants = append(wants, &want{file: filepath.Base(path), line: i + 1, re: re})
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+// Diagnostics loads fixtureDir and returns the surviving diagnostics of the
+// given checks, with file paths relative to the fixture directory.
+func Diagnostics(t *testing.T, checks []*lint.Check, fixtureDir string) []lint.Diagnostic {
+	t.Helper()
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	runner := lint.NewRunner(checks, nil, abs)
+	return runner.Run([]*lint.Package{pkg})
+}

@@ -1,0 +1,232 @@
+// Module loading and type-checking. The loader is stdlib-only: packages in
+// the module are discovered by walking the tree, parsed with go/parser, and
+// type-checked with go/types; imports resolve through a shim that checks
+// module-internal packages recursively from source and delegates everything
+// else (the standard library) to go/importer's source importer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: syntax plus types, which is
+// exactly what a Pass needs.
+type Package struct {
+	Path       string // import path ("difftrace/internal/core", or the fixture's name)
+	ModulePath string // module path this package belongs to ("" for bare fixture dirs)
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // non-test files only; invariants bind shipped code
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader discovers, parses, and type-checks packages. One Loader holds one
+// FileSet and one type-checking universe, so cross-package identity (same
+// types.Object for the same declaration) holds within a run.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	busy map[string]bool // import-cycle guard
+}
+
+// NewLoader roots a loader at the module containing dir (found by walking
+// up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		busy:    make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if p, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(p), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// LoadModule loads every package in the module, sorted by import path.
+// Directories named testdata, vendor, hidden, or underscore-prefixed are
+// skipped, matching the go tool's matching rules for "./...".
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModRoot && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if names, _ := l.goFiles(path); len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		path := l.ModPath
+		if rel, err := filepath.Rel(l.ModRoot, dir); err == nil && rel != "." {
+			path = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(path, dir, l.ModPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory as a standalone package under the given
+// import path — the fixture-package entry point for tests.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	return l.load(asPath, dir, "")
+}
+
+// goFiles lists the non-test .go files in dir that build for the current
+// context (go/build applies //go:build constraints and GOOS/GOARCH rules).
+func (l *Loader) goFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if ok, err := ctx.MatchFile(dir, n); err != nil || !ok {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// load parses and type-checks one package directory (memoized by path).
+func (l *Loader) load(path, dir, modPath string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	names, err := l.goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: &shimImporter{l: l},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
+	}
+	p := &Package{
+		Path: path, ModulePath: modPath, Dir: dir,
+		Fset: l.Fset, Files: files, Types: tpkg, Info: info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// shimImporter routes module-internal imports back through the loader (so
+// their syntax and Info stay available for analysis) and everything else to
+// the source importer.
+type shimImporter struct{ l *Loader }
+
+func (s *shimImporter) Import(path string) (*types.Package, error) {
+	return s.ImportFrom(path, s.l.ModRoot, 0)
+}
+
+func (s *shimImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := s.l
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		dir := l.ModRoot
+		if path != l.ModPath {
+			dir = filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath+"/")))
+		}
+		pkg, err := l.load(path, dir, l.ModPath)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,36 @@
+// Fixture for the errwrap check: fmt.Errorf flattening an error operand
+// with %v/%s is flagged; %w wrapping, error-free formats, and a justified
+// //lint:allow escape pass.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("errwrap fixture: base failure")
+
+func bad(err error) error {
+	return fmt.Errorf("stage failed: %v", err) // want `use %w`
+}
+
+func badMixed(object string, err error) error {
+	return fmt.Errorf("object %s: %s", object, err) // want `use %w`
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("stage failed: %w", err)
+}
+
+func goodNoErrorOperand(n int) error {
+	return fmt.Errorf("bad count: %d", n)
+}
+
+func goodSentinel() error {
+	return fmt.Errorf("while loading: %w", errBase)
+}
+
+func allowedEscape(err error) string {
+	//lint:allow errwrap fixture: display-only message, deliberately flattened for the report footer
+	return fmt.Errorf("display: %v", err).Error()
+}

@@ -1,0 +1,25 @@
+// Fixture for the -json golden test: a package tripping several checks at
+// once, plus one malformed //lint:allow (missing its reason) so the golden
+// document pins the baddirective shape too.
+package jsonout
+
+import "fmt"
+
+func boom(x int) {
+	if x < 0 {
+		panic("negative")
+	}
+}
+
+func flatten(err error) error {
+	//lint:allow errwrap
+	return fmt.Errorf("flattened: %v", err)
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

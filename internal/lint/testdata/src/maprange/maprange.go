@@ -1,0 +1,75 @@
+// Fixture for the maprange check: iterating a map into an ordered sink
+// without a canonical sort is flagged; collect-then-sort, commutative
+// folds, and justified //lint:allow escapes are not.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to "keys" which is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badPrint(m map[string]int, b *strings.Builder) {
+	for k, v := range m { // want `calls fmt.Fprintf in map order`
+		fmt.Fprintf(b, "%s=%d\n", k, v)
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `calls WriteString on a writer`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func goodCommutativeFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func allowedEscape(m map[string]int) []string {
+	var out []string
+	//lint:allow maprange fixture: consumer treats the slice as a set and sorts before rendering
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Fixture for the nakedgoroutine check: `go` statements are flagged; the
+// sequential path and a justified //lint:allow escape are not.
+package nakedgoroutine
+
+func bad(ch chan<- int) {
+	go func() { ch <- 1 }() // want `goroutine started outside internal/pool`
+}
+
+func badNamed(ch chan<- int) {
+	go send(ch) // want `goroutine started outside internal/pool`
+}
+
+func send(ch chan<- int) { ch <- 2 }
+
+func goodSequential(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+func allowedEscape(ch chan<- int) {
+	//lint:allow nakedgoroutine fixture: lifecycle goroutine bounded by channel close, not a worker
+	go send(ch)
+}

@@ -1,0 +1,50 @@
+// Fixture for the nilreceiver check: exported pointer-receiver methods
+// must open with a nil guard; value receivers, unexported methods, both
+// guard shapes, and a justified //lint:allow escape pass.
+package nilreceiver
+
+// Run mimics an obs-style nil-off handle.
+type Run struct{ n int }
+
+func (r *Run) Bad() int { // want `must begin with .if r == nil.`
+	return r.n
+}
+
+func (r *Run) BadLateGuard() int { // want `must begin with .if r == nil.`
+	x := 1
+	if r == nil {
+		return x
+	}
+	return r.n + x
+}
+
+func (r *Run) GoodGuard() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+func (r *Run) GoodInvertedGuard() {
+	if r != nil {
+		r.n++
+	}
+}
+
+func (r *Run) GoodWidenedGuard(off bool) int {
+	if r == nil || off {
+		return 0
+	}
+	return r.n
+}
+
+func (r Run) GoodValueReceiver() int { return r.n }
+
+func (r *Run) unexported() int { return r.n }
+
+func (r *Run) GoodEmpty() {}
+
+//lint:allow nilreceiver fixture: handle documented always-non-nil, returned only by a guarded constructor
+func (r *Run) AllowedEscape() int {
+	return r.n
+}

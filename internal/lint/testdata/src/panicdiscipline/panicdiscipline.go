@@ -1,0 +1,32 @@
+// Fixture for the panicdiscipline check: panic() is flagged; returning a
+// validated error and the caller-bug //lint:allow escape are not.
+package panicdiscipline
+
+import "fmt"
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative input") // want `panic outside internal/pool`
+	}
+}
+
+func goodValidatedError(x int) error {
+	if x < 0 {
+		return fmt.Errorf("panicdiscipline fixture: negative input %d", x)
+	}
+	return nil
+}
+
+func goodShadowedPanic() {
+	// A local function named panic is not the builtin; the checker resolves
+	// through go/types and must not flag this.
+	panic := func(string) {}
+	panic("not the builtin")
+}
+
+func allowedEscape(ok bool) {
+	if !ok {
+		//lint:allow panicdiscipline fixture: caller-bug invariant, unreachable from any trace input
+		panic("invariant violated")
+	}
+}

@@ -1,0 +1,33 @@
+// Fixture for the wallclock check: wall-clock reads and math/rand imports
+// are flagged outside obs/pool; a justified //lint:allow escapes.
+package wallclock
+
+import (
+	"math/rand" // want `import of math/rand`
+	"time"
+)
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want `time.Now outside obs/pool`
+}
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since outside obs/pool`
+}
+
+func seeded(seed int64) int {
+	// Uses of the (flagged) import are fine to exercise: the import line
+	// carries the single diagnostic for the package's rand dependency.
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func goodDeterministicClock(ticks int64) time.Duration {
+	// Deriving durations from logical ticks is the sanctioned pattern.
+	return time.Duration(ticks) * time.Millisecond
+}
+
+func allowedEscape() time.Time {
+	//lint:allow wallclock fixture: demonstrates a justified suppression of a clock read
+	return time.Now()
+}

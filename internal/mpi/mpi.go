@@ -494,12 +494,16 @@ func (r *Rank) barrier() error {
 	return nil
 }
 
-// slotEvents gathers a slot's contribution event IDs (caller holds w.mu).
+// slotEvents gathers a slot's contribution event IDs (caller holds w.mu),
+// sorted so the join list recorded into the trace is independent of map
+// iteration order — collective exit events must be byte-identical across
+// runs of the same schedule.
 func slotEvents(s *collSlot) []int {
 	out := make([]int, 0, len(s.contribEv))
 	for _, id := range s.contribEv {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -719,6 +723,7 @@ func (w *World) Run(tracer *parlot.Tracer, body func(r *Rank) error) error {
 	errs := make([]error, w.n)
 	for i := 0; i < w.n; i++ {
 		wg.Add(1)
+		//lint:allow nakedgoroutine simulated MPI ranks model the traced app and must all be runnable at once or the deadlock detector would deadlock itself; this is not pipeline concurrency
 		go func(rankNo int) {
 			defer wg.Done()
 			var th *parlot.ThreadTracer

@@ -129,6 +129,7 @@ func NewTable() *Table { return &Table{ids: make(map[string]int)} }
 // are not supported.
 func NewOverlay(base *Table) *Table {
 	if base.base != nil {
+		//lint:allow panicdiscipline caller-bug invariant: no trace input can construct a nested overlay, only pipeline code can, and silently flattening one would corrupt ID horizons
 		panic("nlr: overlay of an overlay")
 	}
 	return &Table{
@@ -241,6 +242,7 @@ func (t *Table) Body(id int) []Element {
 // sequences are already in canonical form.
 func (t *Table) Absorb(o *Table) map[int]int {
 	if o.base != t {
+		//lint:allow panicdiscipline caller-bug invariant: absorbing a foreign overlay would silently remap IDs against the wrong horizon; unreachable from any input
 		panic("nlr: Absorb of a foreign overlay")
 	}
 	o.mu.Lock()

@@ -160,8 +160,13 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return snap
 }
 
-// WriteJSON writes the manifest as indented, stable JSON.
+// WriteJSON writes the manifest as indented, stable JSON. A nil manifest
+// writes JSON null — nil is off, here as everywhere in obs.
 func (m *Manifest) WriteJSON(w io.Writer) error {
+	if m == nil {
+		_, err := io.WriteString(w, "null\n")
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(m)

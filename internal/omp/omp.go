@@ -73,6 +73,7 @@ func (r *Region) Parallel(numThreads int, body func(t *Thread)) {
 	var wg sync.WaitGroup
 	for i := 1; i < numThreads; i++ {
 		wg.Add(1)
+		//lint:allow nakedgoroutine simulated OMP threads model the traced app's own parallel region, not the analysis pipeline; thread count is the app's num_threads, not the Workers budget
 		go func(num int) {
 			defer wg.Done()
 			body(r.thread(num))

@@ -11,7 +11,7 @@ package chaos
 
 import (
 	"bytes"
-	"math/rand"
+	"math/rand" //lint:allow wallclock corruption operators take a caller-seeded rng — chaos corpora replay byte-identically from the seed
 )
 
 // Operator is one corruption strategy over a serialized trace set.

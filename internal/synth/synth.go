@@ -8,7 +8,7 @@ package synth
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //lint:allow wallclock seeded from Config.Seed only — synthetic trace sets are a pure function of the config
 
 	"difftrace/internal/trace"
 )
