@@ -3,7 +3,7 @@
 # corrupt-input fuzz seed corpora.
 GO ?= go
 
-.PHONY: all build vet lint test race determinism bench profile fuzz-seeds fuzz check
+.PHONY: all build vet lint test race determinism bench bench-fca profile fuzz-seeds fuzz check
 
 all: build
 
@@ -33,22 +33,33 @@ race:
 # must produce the byte-identical report of the sequential one, under the
 # race detector, twice (-count=2 defeats test caching and catches
 # order-dependent state). -short skips the slowest workload replays, same
-# as the race target.
+# as the race target. The root package carries the golden lattice suite
+# (byte-identical Render/Concepts/Edges across worker counts and across
+# the bitset FCA rewrite).
 determinism:
 	$(GO) test -race -short -count=2 \
 		-run 'Determinism|Workers|ParallelMatchesSequential|Ghost' \
 		./internal/core ./internal/jaccard ./internal/rank ./internal/obs \
-		./internal/experiments ./internal/resilience/chaos ./cmd/difftrace
+		./internal/experiments ./internal/resilience/chaos ./cmd/difftrace .
 
 # Worker-sweep benchmarks; regenerates the BENCH_parallel.json baseline.
 # On a single-CPU host the sweep measures overhead, not speedup (the JSON
 # notes which); on multicore expect >=2x at workers=4. benchjson refuses to
 # shrink an existing baseline (interrupted run, narrower regex); pass
 # BENCHJSON_FLAGS=-force to override.
-bench:
+bench: bench-fca
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel_DiffRun|BenchmarkFig4_JSM' \
 		-benchmem -benchtime=3x . | tee /dev/stderr | $(GO) run ./cmd/benchjson \
 		-out BENCH_parallel.json $(BENCHJSON_FLAGS)
+
+# FCA representation benchmarks: bitset engine vs the frozen map-based
+# reference (internal/fca/reftest) on the same contexts; regenerates the
+# BENCH_fca.json baseline. The impl=bitset / impl=mapref ratio on
+# BenchmarkFCA_Godin is the headline number of the bitset rewrite.
+bench-fca:
+	$(GO) test -run '^$$' -bench 'BenchmarkFCA_' \
+		-benchmem -benchtime=3x -timeout 1200s . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -out BENCH_fca.json $(BENCHJSON_FLAGS)
 
 # Profile run: CPU-profile the Fig4-scale synthetic pipeline benchmark, then
 # drive the CLI over a generated oddeven pair with -manifest and -metrics.
@@ -64,10 +75,11 @@ profile:
 		-manifest profiles/manifest.json -metrics > /dev/null
 	@echo "profiles/: cpu.pprof (inspect with '$(GO) tool pprof profiles/difftrace.test profiles/cpu.pprof'), manifest.json"
 
-# Replay the checked-in fuzz seeds (corrupt/truncated trace corpora) as
-# regular tests — no fuzzing engine, deterministic, fast.
+# Replay the checked-in fuzz seeds (corrupt/truncated trace corpora, plus
+# the bitset-vs-map AttrSet equivalence scripts) as regular tests — no
+# fuzzing engine, deterministic, fast.
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/trace ./internal/parlot
+	$(GO) test -run='^Fuzz' ./internal/trace ./internal/parlot ./internal/fca/reftest
 
 # Short live fuzzing session over the trace readers.
 fuzz:

@@ -1,0 +1,165 @@
+// FCA representation benchmarks: the bitset engine (internal/fca) against
+// the frozen map-based reference (internal/fca/reftest) on the same
+// contexts. `make bench-fca` runs these and regenerates the BENCH_fca.json
+// baseline via cmd/benchjson; the headline number is the
+// BenchmarkFCA_Godin impl=bitset vs impl=mapref ratio on the LULESH-scale
+// synthetic fixture (88 objects — the §V geometry synthSets builds).
+package difftrace_test
+
+import (
+	"testing"
+
+	"difftrace/internal/attr"
+	"difftrace/internal/fca"
+	"difftrace/internal/fca/reftest"
+	"difftrace/internal/filter"
+	"difftrace/internal/jaccard"
+	"difftrace/internal/nlr"
+	"difftrace/internal/trace"
+)
+
+// fcaBench is one workload in both representations: per-object attribute
+// sets as bitsets over a shared interner (the production shape) and as the
+// reference string-map sets.
+type fcaBench struct {
+	names []string
+	bit   map[string]fca.AttrSet
+	ref   map[string]reftest.Set
+}
+
+// fcaBenchLoad extracts attributes from a trace set and materializes both
+// representations. maxObjs truncates the object list for workloads where
+// the reference implementation's cost would dwarf the benchtime budget
+// (Ganter's closure count grows with objects × attributes).
+func fcaBenchLoad(b *testing.B, set *trace.TraceSet, cfg attr.Config, maxObjs int) fcaBench {
+	b.Helper()
+	sums := nlr.SummarizeSet(set, 10, nlr.NewTable())
+	byName := map[string][]nlr.Element{}
+	names := make([]string, 0, len(sums))
+	for id, elems := range sums {
+		byName[id.String()] = elems
+		names = append(names, id.String())
+	}
+	// Deterministic object order → deterministic interner IDs.
+	sortNatural(names)
+	if maxObjs > 0 && len(names) > maxObjs {
+		names = names[:maxObjs]
+	}
+	in := fca.NewInterner()
+	w := fcaBench{names: names, bit: map[string]fca.AttrSet{}, ref: map[string]reftest.Set{}}
+	for _, n := range names {
+		w.bit[n] = attr.ExtractIn(in, byName[n], cfg)
+		w.ref[n] = reftest.New(w.bit[n].Sorted()...)
+	}
+	return w
+}
+
+func sortNatural(names []string) {
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && jaccard.LessNatural(names[j], names[j-1]); j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+}
+
+// fcaLULESHScale is the LULESH-scale fixture: all 88 synthetic objects with
+// single-entry attributes and actual frequencies (~600-attribute universe,
+// ~14k concepts) — the wide, noisy shape where per-step hashing dominated
+// the map implementation.
+func fcaLULESHScale(b *testing.B, maxObjs int) fcaBench {
+	return fcaBenchLoad(b, filter.Everything().ApplySet(synthSets(b).normal),
+		attr.Config{Kind: attr.Single, Freq: attr.Actual}, maxObjs)
+}
+
+// BenchmarkFCA_Godin builds the full incremental lattice over the
+// LULESH-scale fixture in both representations — the headline speedup of
+// the bitset rewrite.
+func BenchmarkFCA_Godin(b *testing.B) {
+	w := fcaLULESHScale(b, 0)
+	b.Run("impl=bitset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l := fca.NewLattice()
+			for _, n := range w.names {
+				l.AddObject(n, w.bit[n])
+			}
+			if l.Size() == 0 {
+				b.Fatal("empty lattice")
+			}
+		}
+	})
+	b.Run("impl=mapref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l := reftest.NewLattice()
+			for _, n := range w.names {
+				l.AddObject(n, w.ref[n])
+			}
+			if l.Size() == 0 {
+				b.Fatal("empty lattice")
+			}
+		}
+	})
+}
+
+// BenchmarkFCA_Ganter runs NextClosure over a 22-object slice of the same
+// fixture (Ganter's closure count explodes with the full 88-object
+// universe, which is the §III-B point — Godin above handles what Ganter
+// cannot).
+func BenchmarkFCA_Ganter(b *testing.B) {
+	w := fcaLULESHScale(b, 22)
+	b.Run("impl=bitset", func(b *testing.B) {
+		ctx := fca.NewContext()
+		for _, n := range w.names {
+			ctx.AddObject(n, w.bit[n])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(fca.NextClosure(ctx)) == 0 {
+				b.Fatal("no concepts")
+			}
+		}
+	})
+	b.Run("impl=mapref", func(b *testing.B) {
+		ctx := reftest.NewContext()
+		for _, n := range w.names {
+			ctx.AddObject(n, w.ref[n])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(reftest.NextClosure(ctx)) == 0 {
+				b.Fatal("no concepts")
+			}
+		}
+	})
+}
+
+// BenchmarkFCA_Edges compares the levelwise Hasse cover search against the
+// reference's O(n³) all-triples scan, on the ~1600-concept lattice of a
+// 32-object slice of the fixture (the cubic reference makes the full 14k
+// concepts unbenchmarkable — itself the point).
+func BenchmarkFCA_Edges(b *testing.B) {
+	w := fcaLULESHScale(b, 32)
+	b.Run("impl=bitset", func(b *testing.B) {
+		l := fca.NewLattice()
+		for _, n := range w.names {
+			l.AddObject(n, w.bit[n])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(l.Edges()) == 0 {
+				b.Fatal("no edges")
+			}
+		}
+	})
+	b.Run("impl=mapref", func(b *testing.B) {
+		l := reftest.NewLattice()
+		for _, n := range w.names {
+			l.AddObject(n, w.ref[n])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(l.Edges()) == 0 {
+				b.Fatal("no edges")
+			}
+		}
+	})
+}

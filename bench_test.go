@@ -189,9 +189,10 @@ func BenchmarkFig3_Lattice(b *testing.B) {
 	set := filter.New(filter.MPIAll).ApplySet(pair.normal)
 	sums := nlr.SummarizeSet(set, 10, nlr.NewTable())
 	cfg := attr.Config{Kind: attr.Single, Freq: attr.NoFreq}
+	in := attr.NewInterner() // shared IDs: lattice runs on the popcount fast path
 	attrs := map[string]fca.AttrSet{}
 	for id, elems := range sums {
-		attrs[id.String()] = attr.Extract(elems, cfg)
+		attrs[id.String()] = attr.ExtractIn(in, elems, cfg)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -212,9 +213,10 @@ func BenchmarkFig3_Lattice(b *testing.B) {
 func BenchmarkFig4_JSM(b *testing.B) {
 	buildAttrs := func(set *trace.TraceSet, cfg attr.Config) map[string]fca.AttrSet {
 		sums := nlr.SummarizeSet(set, 10, nlr.NewTable())
+		in := attr.NewInterner() // shared IDs: JSM cells are popcounts
 		attrs := map[string]fca.AttrSet{}
 		for id, elems := range sums {
-			attrs[id.String()] = attr.Extract(elems, cfg)
+			attrs[id.String()] = attr.ExtractIn(in, elems, cfg)
 		}
 		return attrs
 	}
@@ -454,9 +456,10 @@ func BenchmarkAblation_GodinVsNextClosure(b *testing.B) {
 	set := flt.ApplySet(pair.normal)
 	sums := nlr.SummarizeSet(set, 10, nlr.NewTable())
 	cfg := attr.Config{Kind: attr.Double, Freq: attr.NoFreq}
+	in := attr.NewInterner() // shared IDs for both construction strategies
 	attrs := map[string]fca.AttrSet{}
 	for id, elems := range sums {
-		attrs[id.String()] = attr.Extract(elems, cfg)
+		attrs[id.String()] = attr.ExtractIn(in, elems, cfg)
 	}
 	names := make([]string, 0, len(attrs))
 	for n := range attrs {

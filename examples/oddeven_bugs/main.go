@@ -49,12 +49,15 @@ func main() {
 
 	fmt.Println("\n== Table IV: formal context ==")
 	ac := attr.Config{Kind: attr.Single, Freq: attr.NoFreq}
+	// One interner for every object: the lattice and JSM kernels below
+	// then run on shared dense attribute IDs (popcount fast path).
+	in := attr.NewInterner()
 	ctx := fca.NewContext()
 	lattice := fca.NewLattice()
 	attrs := map[string]fca.AttrSet{}
 	for _, id := range set.IDs() {
 		name := fmt.Sprintf("T%d", id.Process)
-		a := attr.Extract(sums[id], ac)
+		a := attr.ExtractIn(in, sums[id], ac)
 		attrs[name] = a
 		ctx.AddObject(name, a)
 		lattice.AddObject(name, a)

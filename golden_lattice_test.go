@@ -1,0 +1,130 @@
+// Golden lattice tests: the concept-lattice renders and concept orderings
+// must stay byte-identical across the bitset FCA rewrite and across worker
+// counts. The goldens under testdata/fca/golden_*.txt were generated with
+// the original map-based AttrSet implementation, so any drift in Render(),
+// Concepts() ordering, or Edges() is a regression against the paper's
+// Figure 3-style output. Regenerate (only when an output change is
+// intended) with UPDATE_GOLDEN=1 go test -run GoldenLattice .
+package difftrace_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"difftrace/internal/attr"
+	"difftrace/internal/cluster"
+	"difftrace/internal/core"
+	"difftrace/internal/fca"
+	"difftrace/internal/filter"
+	"difftrace/internal/trace"
+)
+
+// tableIVLattice builds the paper's Figure 3 worked example (Table IV).
+func tableIVLattice() *fca.Lattice {
+	common := []string{"MPI_Init", "MPI_Comm_Size", "MPI_Comm_Rank", "MPI_Finalize"}
+	l := fca.NewLattice()
+	l.AddObject("T0", fca.NewAttrSet(append([]string{"L0"}, common...)...))
+	l.AddObject("T1", fca.NewAttrSet(append([]string{"L1"}, common...)...))
+	l.AddObject("T2", fca.NewAttrSet(append([]string{"L0"}, common...)...))
+	l.AddObject("T3", fca.NewAttrSet(append([]string{"L1"}, common...)...))
+	return l
+}
+
+// dumpLattice renders everything the golden pins: the Figure 3-style
+// render, the deterministic Concepts() ordering, and the Hasse cover edges.
+func dumpLattice(b *strings.Builder, title string, l *fca.Lattice) {
+	fmt.Fprintf(b, "--- %s ---\n", title)
+	b.WriteString(l.Render())
+	for i, c := range l.Concepts() {
+		fmt.Fprintf(b, "concept[%d] = %s\n", i, c)
+	}
+	for _, e := range l.Edges() {
+		fmt.Fprintf(b, "edge %d -> %d\n", e[0], e[1])
+	}
+}
+
+func readFixturePair(t *testing.T, name string) (*trace.TraceSet, *trace.TraceSet) {
+	t.Helper()
+	reg := trace.NewRegistry()
+	read := func(side string) *trace.TraceSet {
+		f, err := os.Open(filepath.Join("testdata", "fca", name+"_"+side+".trace"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		s, err := trace.ReadSetText(bufio.NewReader(f), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return read("normal"), read("faulty")
+}
+
+// fixtureDump runs the full pipeline with lattices on and renders all four
+// lattices (both levels x both sides) of one experiment fixture.
+func fixtureDump(t *testing.T, name string, workers int) string {
+	t.Helper()
+	normal, faulty := readFixturePair(t, name)
+	cfg := core.Config{
+		Filter:        filter.New(filter.MPIAll),
+		Attr:          attr.Config{Kind: attr.Single, Freq: attr.NoFreq},
+		Linkage:       cluster.Ward,
+		BuildLattices: true,
+		Workers:       workers,
+	}
+	rep, err := core.DiffRun(normal, faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	dumpLattice(&b, name+"/threads/normal", rep.Threads.Normal.Lattice)
+	dumpLattice(&b, name+"/threads/faulty", rep.Threads.Faulty.Lattice)
+	dumpLattice(&b, name+"/processes/normal", rep.Processes.Normal.Lattice)
+	dumpLattice(&b, name+"/processes/faulty", rep.Processes.Faulty.Lattice)
+	return b.String()
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", "fca", "golden_"+name+".txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Errorf("%s drifted from golden\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenLatticeFigure3 pins the worked example of the paper: Render,
+// concept ordering, and cover edges must match the map-era golden bytes.
+func TestGoldenLatticeFigure3(t *testing.T) {
+	var b strings.Builder
+	dumpLattice(&b, "figure3", tableIVLattice())
+	checkGolden(t, "figure3", b.String())
+}
+
+// TestGoldenLatticeWorkersDeterminism pins the ILCS and LULESH experiment
+// fixtures: the lattice renders must be byte-identical to the goldens and
+// across Workers:1 vs Workers:8 (part of `make determinism`).
+func TestGoldenLatticeWorkersDeterminism(t *testing.T) {
+	for _, name := range []string{"ilcs", "lulesh"} {
+		seq := fixtureDump(t, name, 1)
+		par := fixtureDump(t, name, 8)
+		if seq != par {
+			t.Errorf("%s: lattice dump differs between Workers:1 and Workers:8", name)
+		}
+		checkGolden(t, name, seq)
+	}
+}

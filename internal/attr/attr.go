@@ -12,12 +12,23 @@ package attr
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"difftrace/internal/fca"
 	"difftrace/internal/nlr"
 	"difftrace/internal/trace"
 )
+
+// Interner is the dense attribute universe of one diff run, re-exported so
+// pipeline callers can build one without importing fca directly. Handing
+// the same interner to ExtractIn for every object (and to
+// fca.NewLatticeWith) keeps all intents of a run in one bit universe, which
+// is what turns lattice and JSM kernels into word operations.
+type Interner = fca.Interner
+
+// NewInterner returns an empty attribute universe.
+func NewInterner() *Interner { return fca.NewInterner() }
 
 // Kind selects single entries or consecutive pairs (Table V rows).
 type Kind int
@@ -149,8 +160,20 @@ func entryWeight(e nlr.Element) int {
 	return e.Loop.Count
 }
 
-// Extract mines the attribute set of one summarized trace.
+// Extract mines the attribute set of one summarized trace into a private
+// attribute universe.
 func Extract(elems []nlr.Element, cfg Config) fca.AttrSet {
+	return ExtractIn(fca.NewInterner(), elems, cfg)
+}
+
+// ExtractIn is Extract binding the result to a shared interner. Attributes
+// are interned in sorted order, so for a given sequence of ExtractIn calls
+// the IDs the interner assigns are reproducible — the property the
+// determinism suite leans on when one interner is shared across a run.
+// Calls on the same interner may not run concurrently if ID assignment
+// must stay deterministic; parallel extraction uses private interners and
+// re-interns at the barrier (see core's analyze).
+func ExtractIn(in *Interner, elems []nlr.Element, cfg Config) fca.AttrSet {
 	freqs := make(map[string]int)
 	switch cfg.Kind {
 	case Single:
@@ -163,9 +186,20 @@ func Extract(elems []nlr.Element, cfg Config) fca.AttrSet {
 			freqs[pair]++
 		}
 	}
-	out := fca.NewAttrSet()
-	for a, n := range freqs {
-		out.Add(render(a, n, cfg.Freq))
+	return renderAll(in, freqs, cfg.Freq)
+}
+
+// renderAll folds a frequency table into an attribute set bound to in,
+// interning in sorted-name order for reproducible IDs.
+func renderAll(in *Interner, freqs map[string]int, f Freq) fca.AttrSet {
+	names := make([]string, 0, len(freqs))
+	for a := range freqs {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	out := fca.NewAttrSetIn(in)
+	for _, a := range names {
+		out.Add(render(a, freqs[a], f))
 	}
 	return out
 }
@@ -187,6 +221,12 @@ func render(attrName string, freq int, f Freq) string {
 // "_". The trace must retain its return events for the nesting to be
 // reconstructible (use a "0…" filter spec).
 func ExtractContext(tr *trace.Trace, reg *trace.Registry, f Freq) fca.AttrSet {
+	return ExtractContextIn(fca.NewInterner(), tr, reg, f)
+}
+
+// ExtractContextIn is ExtractContext binding the result to a shared
+// interner (see ExtractIn for the concurrency contract).
+func ExtractContextIn(in *Interner, tr *trace.Trace, reg *trace.Registry, f Freq) fca.AttrSet {
 	freqs := make(map[string]int)
 	var stack []string
 	for _, e := range tr.Events {
@@ -205,9 +245,5 @@ func ExtractContext(tr *trace.Trace, reg *trace.Registry, f Freq) fca.AttrSet {
 			}
 		}
 	}
-	out := fca.NewAttrSet()
-	for a, n := range freqs {
-		out.Add(render(a, n, f))
-	}
-	return out
+	return renderAll(in, freqs, f)
 }

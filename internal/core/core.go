@@ -469,14 +469,29 @@ func (lv *levelRun) analyze(cfg Config, w int) error {
 		}
 	}
 
-	// Both sides' lattice/JSM/linkage builds run concurrently.
+	// Canonicalize: the parallel extraction above built each set in a
+	// private universe; rebind them all to one per-level interner, in
+	// canonical (side, object) order with sorted attributes, so dense IDs
+	// are schedule-independent and both sides' intents share a bit universe
+	// — every lattice and JSM kernel below is then pure word arithmetic.
+	interner := fca.NewInterner()
+	for _, s := range lv.sides {
+		for i := range s.objs {
+			if s.attrs[i] != nil {
+				s.attrs[i] = fca.NewAttrSetIn(interner, s.attrs[i].Sorted()...)
+			}
+		}
+	}
+
+	// Both sides' lattice/JSM/linkage builds run concurrently. They only
+	// read the now-frozen interner, so IDs stay deterministic.
 	sideW := pool.Divide(w, 2)
 	var analyses [2]*Analysis
 	sideErrs := make([]error, 2)
 	pool.DoObserved(run, "core.sides", w, 2, func(i int) {
 		sp := run.StartSpan("analyze/" + lv.key + "/" + lv.sides[i].name + "/build")
 		defer sp.End()
-		analyses[i], sideErrs[i] = lv.sides[i].buildAnalysis(cfg, excluded, sideW)
+		analyses[i], sideErrs[i] = lv.sides[i].buildAnalysis(cfg, interner, excluded, sideW)
 	})
 	for _, err := range sideErrs {
 		if err != nil {
@@ -506,8 +521,10 @@ func (lv *levelRun) analyze(cfg Config, w int) error {
 }
 
 // buildAnalysis assembles the lattice/JSM/linkage for one execution side
-// from the objects that survived summarization and extraction.
-func (s *sideRun) buildAnalysis(cfg Config, excluded map[string]bool, w int) (*Analysis, error) {
+// from the objects that survived summarization and extraction. All attr
+// sets are already bound to the per-level interner, which the side's
+// lattice shares so normal/faulty intents stay comparable as bitsets.
+func (s *sideRun) buildAnalysis(cfg Config, interner *fca.Interner, excluded map[string]bool, w int) (*Analysis, error) {
 	nlrs := make(map[string][]nlr.Element, len(s.objs))
 	attrs := make(map[string]fca.AttrSet, len(s.objs))
 	for i, o := range s.objs {
@@ -519,7 +536,7 @@ func (s *sideRun) buildAnalysis(cfg Config, excluded map[string]bool, w int) (*A
 	}
 	a := &Analysis{NLR: nlrs, Attrs: attrs}
 	if cfg.BuildLattices {
-		a.Lattice = fca.NewLattice()
+		a.Lattice = fca.NewLatticeWith(interner)
 		a.Lattice.Observe(cfg.Obs)
 		for _, o := range s.objs {
 			if at, ok := attrs[o.name]; ok {

@@ -93,8 +93,9 @@ func oddEvenAttrs() (map[string]fca.AttrSet, error) {
 	sums := nlr.SummarizeSet(set, 10, tbl)
 	attrs := make(map[string]fca.AttrSet)
 	cfg := attr.Config{Kind: attr.Single, Freq: attr.NoFreq}
+	in := attr.NewInterner() // shared IDs → popcount fast path downstream
 	for _, id := range set.IDs() {
-		attrs[fmt.Sprintf("T%d", id.Process)] = attr.Extract(sums[id], cfg)
+		attrs[fmt.Sprintf("T%d", id.Process)] = attr.ExtractIn(in, sums[id], cfg)
 	}
 	return attrs, nil
 }

@@ -2,6 +2,14 @@
 // whose objects are traces and whose attributes are mined trace features,
 // concept lattices built with Godin's incremental algorithm, and Ganter's
 // batch NextClosure algorithm as the baseline it is compared against.
+//
+// Attribute sets are word-packed bitsets over a dense string Interner, so
+// the lattice kernels (intersection, subset, closure, Jaccard) run as
+// And/popcount word loops instead of map operations; the historical
+// string-based API (NewAttrSet, Add, Sorted, String) remains as a thin
+// view, and every rendered artifact is byte-identical to the old map-backed
+// implementation. The map implementation survives as the differential
+// oracle in internal/fca/reftest.
 package fca
 
 import (
@@ -9,106 +17,196 @@ import (
 	"strings"
 )
 
-// AttrSet is a set of attribute names.
-type AttrSet map[string]struct{}
+// Set is the bitset-backed attribute set: dense IDs from a shared Interner,
+// membership packed into a BitSet. Sets bound to the same Interner combine
+// with pure word kernels; sets from different interners fall back to a
+// string-remapping slow path, so independently constructed sets (tests,
+// ad-hoc callers) still behave like plain string sets.
+type Set struct {
+	in   *Interner
+	bits BitSet
+}
 
-// NewAttrSet builds a set from the given attributes.
+// AttrSet is a set of attribute names. It is an alias for *Set so the
+// map-era API shape survives: a nil AttrSet is a valid empty set for
+// reads, assignment aliases storage (like map values), and Clone makes an
+// independent copy.
+type AttrSet = *Set
+
+// NewAttrSet builds a set over a fresh private interner.
 func NewAttrSet(attrs ...string) AttrSet {
-	s := make(AttrSet, len(attrs))
+	return NewAttrSetIn(NewInterner(), attrs...)
+}
+
+// NewAttrSetIn builds a set bound to the given interner — the constructor
+// every pipeline stage uses so one diff run shares one attribute universe.
+func NewAttrSetIn(in *Interner, attrs ...string) AttrSet {
+	s := &Set{in: in}
 	for _, a := range attrs {
-		s[a] = struct{}{}
+		s.Add(a)
 	}
 	return s
 }
 
-// Add inserts a.
-func (s AttrSet) Add(a string) { s[a] = struct{}{} }
-
-// Has reports membership.
-func (s AttrSet) Has(a string) bool { _, ok := s[a]; return ok }
-
-// Len reports cardinality.
-func (s AttrSet) Len() int { return len(s) }
-
-// Clone returns a copy.
-func (s AttrSet) Clone() AttrSet {
-	c := make(AttrSet, len(s))
-	for a := range s {
-		c[a] = struct{}{}
+// Interner returns the attribute universe this set is bound to.
+func (s *Set) Interner() *Interner {
+	if s == nil {
+		return nil
 	}
-	return c
+	return s.in
 }
 
-// Intersect returns s ∩ o.
-func (s AttrSet) Intersect(o AttrSet) AttrSet {
-	small, big := s, o
-	if len(big) < len(small) {
-		small, big = big, small
+// Bits exposes the packed words for read-only kernel use (jaccard's row
+// popcounts); callers must not mutate them.
+func (s *Set) Bits() BitSet {
+	if s == nil {
+		return nil
 	}
-	out := make(AttrSet)
-	for a := range small {
-		if big.Has(a) {
-			out[a] = struct{}{}
+	return s.bits
+}
+
+// Add inserts a.
+func (s *Set) Add(a string) { s.bits.Set(s.in.Intern(a)) }
+
+// Has reports membership.
+func (s *Set) Has(a string) bool {
+	if s == nil {
+		return false
+	}
+	id, ok := s.in.Lookup(a)
+	return ok && s.bits.Has(id)
+}
+
+// Len reports cardinality.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.bits.PopCount()
+}
+
+// Clone returns an independent copy bound to the same interner.
+func (s *Set) Clone() AttrSet {
+	if s == nil {
+		return nil
+	}
+	return &Set{in: s.in, bits: s.bits.Clone()}
+}
+
+// sameUniverse reports whether the word-kernel fast path applies.
+func (s *Set) sameUniverse(o *Set) bool {
+	return s != nil && o != nil && s.in == o.in
+}
+
+// Intersect returns s ∩ o, bound to s's interner.
+func (s *Set) Intersect(o AttrSet) AttrSet {
+	if s == nil {
+		return &Set{in: NewInterner()}
+	}
+	if s.sameUniverse(o) {
+		return &Set{in: s.in, bits: s.bits.And(o.bits)}
+	}
+	out := &Set{in: s.in}
+	s.bits.ForEach(func(id int) {
+		if o.Has(s.in.Name(id)) {
+			out.bits.Set(id)
 		}
-	}
+	})
 	return out
 }
 
-// Union returns s ∪ o.
-func (s AttrSet) Union(o AttrSet) AttrSet {
+// Union returns s ∪ o, bound to s's interner.
+func (s *Set) Union(o AttrSet) AttrSet {
+	if s == nil {
+		if o == nil {
+			return &Set{in: NewInterner()}
+		}
+		return o.Clone()
+	}
+	if s.sameUniverse(o) {
+		return &Set{in: s.in, bits: s.bits.Or(o.bits)}
+	}
 	out := s.Clone()
-	for a := range o {
-		out[a] = struct{}{}
+	if o != nil {
+		o.bits.ForEach(func(id int) {
+			out.Add(o.in.Name(id))
+		})
 	}
 	return out
 }
 
 // SubsetOf reports s ⊆ o.
-func (s AttrSet) SubsetOf(o AttrSet) bool {
-	if len(s) > len(o) {
-		return false
+func (s *Set) SubsetOf(o AttrSet) bool {
+	if s == nil {
+		return true
 	}
-	for a := range s {
-		if !o.Has(a) {
-			return false
+	if s.sameUniverse(o) {
+		return s.bits.SubsetOf(o.bits)
+	}
+	ok := true
+	s.bits.ForEach(func(id int) {
+		if ok && !o.Has(s.in.Name(id)) {
+			ok = false
 		}
-	}
-	return true
+	})
+	return ok
 }
 
 // Equal reports set equality.
-func (s AttrSet) Equal(o AttrSet) bool {
-	return len(s) == len(o) && s.SubsetOf(o)
+func (s *Set) Equal(o AttrSet) bool {
+	if s.sameUniverse(o) {
+		return s.bits.Equal(o.bits)
+	}
+	return s.Len() == o.Len() && s.SubsetOf(o)
 }
 
 // Jaccard returns |s∩o| / |s∪o| — the similarity measure the JSM stage uses
-// (1 for two empty sets, by convention).
-func (s AttrSet) Jaccard(o AttrSet) float64 {
-	inter := 0
-	for a := range s {
-		if o.Has(a) {
-			inter++
-		}
+// (1 for two empty sets, by convention). On a shared interner one cell is a
+// single And+popcount pass over the packed words.
+func (s *Set) Jaccard(o AttrSet) float64 {
+	var inter int
+	if s.sameUniverse(o) {
+		inter = s.bits.IntersectCount(o.bits)
+	} else if s != nil {
+		s.bits.ForEach(func(id int) {
+			if o.Has(s.in.Name(id)) {
+				inter++
+			}
+		})
 	}
-	union := len(s) + len(o) - inter
+	union := s.Len() + o.Len() - inter
 	if union == 0 {
 		return 1
 	}
 	return float64(inter) / float64(union)
 }
 
-// Sorted returns the attributes in lexicographic order.
-func (s AttrSet) Sorted() []string {
-	out := make([]string, 0, len(s))
-	for a := range s {
-		out = append(out, a)
+// Sorted returns the attributes in lexicographic order. Interner IDs are
+// assigned in first-seen order, so this decodes and sorts the strings —
+// rendering goes through here, which is what keeps every artifact
+// schedule-independent even though IDs are not.
+func (s *Set) Sorted() []string {
+	if s == nil {
+		return []string{}
 	}
+	out := make([]string, 0, s.bits.PopCount())
+	s.bits.ForEach(func(id int) {
+		out = append(out, s.in.Name(id))
+	})
 	sort.Strings(out)
 	return out
 }
 
-// Signature returns a canonical string key for the set.
-func (s AttrSet) Signature() string { return strings.Join(s.Sorted(), "\x00") }
+// Signature returns an allocation-free 64-bit key for the set, valid within
+// one interner: equal sets always collide, unequal sets collide with FNV-64
+// probability (callers confirming identity must re-check with Equal, as
+// Lattice's concept index does).
+func (s *Set) Signature() uint64 {
+	if s == nil {
+		return BitSet(nil).Signature()
+	}
+	return s.bits.Signature()
+}
 
 // String renders like "{a, b, c}".
-func (s AttrSet) String() string { return "{" + strings.Join(s.Sorted(), ", ") + "}" }
+func (s *Set) String() string { return "{" + strings.Join(s.Sorted(), ", ") + "}" }

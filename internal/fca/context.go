@@ -7,28 +7,60 @@ import (
 
 // Context is a formal context K = (G, M, I): objects G, attributes M, and
 // the incidence relation I stored as per-object attribute sets (§III-B,
-// Table IV).
+// Table IV). Intents live in a dense slice parallel to the object list and
+// are all bound to one Interner, so Extent/Closure scans are pure bitset
+// subset/intersection kernels.
 type Context struct {
-	objects []string           // insertion order
-	intents map[string]AttrSet // object -> attributes
-	attrs   AttrSet            // M, the attribute universe
+	in      *Interner
+	objects []string       // insertion order
+	index   map[string]int // object name -> position in objects/intents
+	intents []AttrSet      // parallel to objects
+	attrs   AttrSet        // M, the attribute universe
 }
 
-// NewContext returns an empty formal context.
-func NewContext() *Context {
-	return &Context{intents: make(map[string]AttrSet), attrs: NewAttrSet()}
+// NewContext returns an empty formal context over a fresh interner.
+func NewContext() *Context { return NewContextWith(NewInterner()) }
+
+// NewContextWith returns an empty formal context bound to in. A diff run
+// passes one interner to both the normal and faulty contexts so their
+// intents share a bit universe and stay directly comparable.
+func NewContextWith(in *Interner) *Context {
+	return &Context{in: in, index: make(map[string]int), attrs: &Set{in: in}}
+}
+
+// Interner returns the attribute universe this context interns into.
+func (c *Context) Interner() *Interner { return c.in }
+
+// adopt translates an intent into this context's universe. Same-interner
+// sets just clone; foreign sets re-intern their attributes in sorted order,
+// so the IDs this context assigns never depend on the caller's insertion
+// order.
+func (c *Context) adopt(intent AttrSet) AttrSet {
+	if intent == nil {
+		return &Set{in: c.in}
+	}
+	if intent.Interner() == c.in {
+		return intent.Clone()
+	}
+	out := &Set{in: c.in}
+	for _, a := range intent.Sorted() {
+		out.Add(a)
+	}
+	return out
 }
 
 // AddObject inserts object g with the given attribute set. Re-adding an
 // object replaces its attributes.
 func (c *Context) AddObject(g string, intent AttrSet) {
-	if _, exists := c.intents[g]; !exists {
+	adopted := c.adopt(intent)
+	if i, ok := c.index[g]; ok {
+		c.intents[i] = adopted
+	} else {
+		c.index[g] = len(c.objects)
 		c.objects = append(c.objects, g)
+		c.intents = append(c.intents, adopted)
 	}
-	c.intents[g] = intent.Clone()
-	for a := range intent {
-		c.attrs.Add(a)
-	}
+	c.attrs.bits.OrInPlace(adopted.bits)
 }
 
 // Objects returns the object names in insertion order.
@@ -41,27 +73,35 @@ func (c *Context) Objects() []string {
 // Attributes returns M (a copy).
 func (c *Context) Attributes() AttrSet { return c.attrs.Clone() }
 
+// intentOf returns g's stored intent, or an empty set for unknown objects.
+func (c *Context) intentOf(g string) AttrSet {
+	if i, ok := c.index[g]; ok {
+		return c.intents[i]
+	}
+	return &Set{in: c.in}
+}
+
 // Intent returns object g's attribute set (the derivation {g}′), nil if g
 // is unknown.
 func (c *Context) Intent(g string) AttrSet {
-	in, ok := c.intents[g]
+	i, ok := c.index[g]
 	if !ok {
 		return nil
 	}
-	return in.Clone()
+	return c.intents[i].Clone()
 }
 
 // Has reports the incidence relation I(g, m).
 func (c *Context) Has(g, m string) bool {
-	in, ok := c.intents[g]
-	return ok && in.Has(m)
+	i, ok := c.index[g]
+	return ok && c.intents[i].Has(m)
 }
 
 // Extent computes B′ = {g ∈ G : B ⊆ g′} for an attribute set B.
 func (c *Context) Extent(b AttrSet) []string {
 	var out []string
-	for _, g := range c.objects {
-		if b.SubsetOf(c.intents[g]) {
+	for i, g := range c.objects {
+		if b.SubsetOf(c.intents[i]) {
 			out = append(out, g)
 		}
 	}
@@ -74,9 +114,9 @@ func (c *Context) CommonIntent(objs []string) AttrSet {
 	if len(objs) == 0 {
 		return c.attrs.Clone()
 	}
-	out := c.intents[objs[0]].Clone()
+	out := c.intentOf(objs[0]).Clone()
 	for _, g := range objs[1:] {
-		out = out.Intersect(c.intents[g])
+		out = out.Intersect(c.intentOf(g))
 	}
 	return out
 }
@@ -106,14 +146,14 @@ func (c *Context) CrossTable() string {
 		fmt.Fprintf(&b, " | %-*s", w[i], a)
 	}
 	b.WriteByte('\n')
-	for _, g := range c.objects {
+	for i, g := range c.objects {
 		fmt.Fprintf(&b, "%-*s", nameW, g)
-		for i, a := range attrs {
+		for j, a := range attrs {
 			mark := ""
-			if c.intents[g].Has(a) {
+			if c.intents[i].Has(a) {
 				mark = "x"
 			}
-			fmt.Fprintf(&b, " | %-*s", w[i], mark)
+			fmt.Fprintf(&b, " | %-*s", w[j], mark)
 		}
 		b.WriteByte('\n')
 	}
@@ -127,8 +167,8 @@ func (c *Context) Density() float64 {
 		return 0
 	}
 	n := 0
-	for _, g := range c.objects {
-		n += c.intents[g].Len()
+	for i := range c.objects {
+		n += c.intents[i].Len()
 	}
 	return float64(n) / float64(len(c.objects)*c.attrs.Len())
 }

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"difftrace/internal/obs"
 )
 
 func TestAttrSetOps(t *testing.T) {
@@ -213,7 +215,7 @@ func TestNextClosureTableIV(t *testing.T) {
 func conceptSigs(cs []*Concept) []string {
 	sigs := make([]string, len(cs))
 	for i, c := range cs {
-		sigs[i] = c.Intent.Signature() + "##" + strings.Join(c.Extent, "|")
+		sigs[i] = c.Intent.String() + "##" + strings.Join(c.Extent, "|")
 	}
 	sort.Strings(sigs)
 	return sigs
@@ -308,6 +310,106 @@ func TestQuickLatticeInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConceptsSortCache: Size/Top/Bottom/Concepts share one cached sorted
+// view that is rebuilt at most once per AddObject batch — the regression
+// guard for the old behavior of re-sorting every call, counted through the
+// "fca.concepts.sorts" obs counter.
+func TestConceptsSortCache(t *testing.T) {
+	run := obs.NewRun("test")
+	l := NewLattice()
+	l.Observe(run)
+	ctx := tableIVContext()
+	for _, g := range ctx.Objects() {
+		l.AddObject(g, ctx.Intent(g))
+	}
+	sorts := run.Counter("fca.concepts.sorts")
+	before := sorts.Value()
+	for i := 0; i < 10; i++ {
+		l.Size()
+		l.Top()
+		l.Bottom()
+		l.Concepts()
+	}
+	if got := sorts.Value() - before; got != 1 {
+		t.Errorf("40 read calls cost %d sorts, want exactly 1", got)
+	}
+	// A mutation invalidates the cache: exactly one more rebuild.
+	l.AddObject("T4", NewAttrSet("L0", "MPI_Init"))
+	l.Size()
+	l.Size()
+	if got := sorts.Value() - before; got != 2 {
+		t.Errorf("after AddObject: %d sorts total, want 2", got)
+	}
+}
+
+// TestInterner: dense first-seen IDs, stable lookups, and round-tripping.
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("alpha")
+	b := in.Intern("beta")
+	if a == b || in.Intern("alpha") != a || in.Len() != 2 {
+		t.Fatalf("interning broken: a=%d b=%d len=%d", a, b, in.Len())
+	}
+	if in.Name(a) != "alpha" || in.Name(b) != "beta" {
+		t.Error("Name round-trip broken")
+	}
+	if id, ok := in.Lookup("beta"); !ok || id != b {
+		t.Error("Lookup broken")
+	}
+	if _, ok := in.Lookup("gamma"); ok {
+		t.Error("Lookup invented an ID")
+	}
+}
+
+// TestBitSetKernels exercises the word kernels across the 64-bit boundary,
+// where length-tolerance bugs live.
+func TestBitSetKernels(t *testing.T) {
+	var a, b BitSet
+	a.Set(1)
+	a.Set(63)
+	a.Set(64)
+	b.Set(63)
+	if a.PopCount() != 3 || b.PopCount() != 1 {
+		t.Fatalf("popcounts %d/%d", a.PopCount(), b.PopCount())
+	}
+	if !b.SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("subset across word boundary broken")
+	}
+	if got := a.And(b).PopCount(); got != 1 {
+		t.Errorf("and popcount = %d", got)
+	}
+	if got := a.Or(b).PopCount(); got != 3 {
+		t.Errorf("or popcount = %d", got)
+	}
+	if got := a.AndNot(b).PopCount(); got != 2 {
+		t.Errorf("andnot popcount = %d", got)
+	}
+	if a.IntersectCount(b) != 1 {
+		t.Error("intersect count broken")
+	}
+	// Equal must ignore trailing zero words.
+	c := a.Clone()
+	c = append(c, 0, 0)
+	if !a.Equal(c) || a.Signature() != c.Signature() {
+		t.Error("trailing zero words changed equality or signature")
+	}
+	var got []int
+	a.ForEach(func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, []int{1, 63, 64}) {
+		t.Errorf("ForEach = %v", got)
+	}
+	// Prefix/AnyBelowNotIn: the lectic kernels.
+	if p := a.Prefix(64); p.PopCount() != 2 || p.Has(64) {
+		t.Errorf("prefix(64) = %v", p)
+	}
+	if !a.AnyBelowNotIn(b, 64) { // a has bit 1 below 64 that b lacks
+		t.Error("AnyBelowNotIn missed bit 1")
+	}
+	if b.AnyBelowNotIn(a, 65) { // everything in b below 65 is in a
+		t.Error("AnyBelowNotIn false positive")
 	}
 }
 

@@ -1,0 +1,69 @@
+package fca
+
+import "sync"
+
+// Interner maps attribute strings to dense non-negative IDs. IDs are
+// assigned in first-Intern order and never change, so word-packed bitsets
+// indexed by ID stay valid as the universe grows. One Interner is shared
+// across every AttrSet, Context, and Lattice of a diff run (both the normal
+// and faulty sides), which makes their intents directly comparable as
+// bitsets: same attribute, same bit, no string hashing on the hot path.
+//
+// The interner is safe for concurrent use — parallel attribute extraction
+// interns from many goroutines. The ID an attribute receives may therefore
+// vary between schedules, but IDs never reach any output: rendering always
+// goes through the attribute strings in sorted order, and similarity math
+// uses only popcounts, so every observable artifact stays
+// schedule-independent (the same argument as nlr.Table's overlay merge).
+type Interner struct {
+	mu    sync.RWMutex
+	ids   map[string]int
+	names []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int)}
+}
+
+// Intern returns the dense ID for name, assigning the next free ID on first
+// sight.
+func (in *Interner) Intern(name string) int {
+	in.mu.RLock()
+	id, ok := in.ids[name]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[name]; ok {
+		return id
+	}
+	id = len(in.names)
+	in.ids[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+// Lookup returns name's ID without assigning one.
+func (in *Interner) Lookup(name string) (int, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	id, ok := in.ids[name]
+	return id, ok
+}
+
+// Name returns the attribute string for a previously assigned ID.
+func (in *Interner) Name(id int) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.names[id]
+}
+
+// Len returns the number of interned attributes.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}

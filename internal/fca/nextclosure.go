@@ -25,74 +25,86 @@ func NextClosureObserved(ctx *Context, r *obs.Run) []*Concept {
 	return concepts
 }
 
+// nextClosure runs in "rank space": attribute rank i is position i of the
+// sorted attribute list (the lectic order a_0 < a_1 < ... the algorithm
+// needs), and intents are BitSets over ranks. Object rows are translated
+// once up front; after that every closure is a subset test plus an AND fold
+// over packed words, and the lectic successor check is the AnyBelowNotIn
+// word kernel.
 func nextClosure(ctx *Context, closures *obs.Counter) []*Concept {
 	attrs := ctx.Attributes().Sorted() // fixed linear order a_0 < a_1 < ...
 	m := len(attrs)
-	index := make(map[string]int, m)
+	rank := make(map[string]int, m)
 	for i, a := range attrs {
-		index[a] = i
+		rank[a] = i
 	}
 
-	// Work on bitmask-like bool slices over the attribute order.
-	toSet := func(bits []bool) AttrSet {
-		s := NewAttrSet()
-		for i, b := range bits {
-			if b {
-				s.Add(attrs[i])
+	// Translate object intents from interner-ID space to rank space.
+	rows := make([]BitSet, len(ctx.objects))
+	for gi := range ctx.objects {
+		var row BitSet
+		ctx.intents[gi].bits.ForEach(func(id int) {
+			row.Set(rank[ctx.in.Name(id)])
+		})
+		rows[gi] = row
+	}
+	var fullM BitSet
+	for i := 0; i < m; i++ {
+		fullM.Set(i)
+	}
+
+	// closure computes B″ as the AND of every object row containing B; with
+	// no such row it is M (the standard convention, matching CommonIntent).
+	closure := func(b BitSet) BitSet {
+		closures.Add(1)
+		var out BitSet
+		first := true
+		for _, row := range rows {
+			if !b.SubsetOf(row) {
+				continue
+			}
+			if first {
+				out = row.Clone()
+				first = false
+			} else {
+				out.AndInPlace(row)
 			}
 		}
-		return s
-	}
-	closure := func(bits []bool) []bool {
-		closures.Add(1)
-		closed := ctx.Closure(toSet(bits))
-		out := make([]bool, m)
-		for a := range closed {
-			out[index[a]] = true
+		if first {
+			return fullM.Clone()
 		}
 		return out
 	}
 
+	toSet := func(b BitSet) AttrSet {
+		s := &Set{in: ctx.in}
+		b.ForEach(func(r int) { s.Add(attrs[r]) })
+		return s
+	}
 	var concepts []*Concept
-	emit := func(bits []bool) {
-		in := toSet(bits)
+	emit := func(b BitSet) {
+		in := toSet(b)
 		concepts = append(concepts, &Concept{Extent: ctx.Extent(in), Intent: in})
 	}
 
 	// First closed set: ∅″.
-	a := closure(make([]bool, m))
+	a := closure(nil)
 	emit(a)
 	if m == 0 {
 		return concepts
 	}
-	full := func(bits []bool) bool {
-		for _, b := range bits {
-			if !b {
-				return false
-			}
-		}
-		return true
-	}
-	for !full(a) {
+	for a.PopCount() < m {
 		advanced := false
 		for i := m - 1; i >= 0; i-- {
-			if a[i] {
+			if a.Has(i) {
 				continue
 			}
 			// Candidate: (a ∩ {0..i-1}) ∪ {i}, closed.
-			cand := make([]bool, m)
-			copy(cand, a[:i])
-			cand[i] = true
+			cand := a.Prefix(i)
+			cand.Set(i)
 			b := closure(cand)
 			// b is the lectic successor iff it adds no attribute < i.
-			ok := true
-			for j := 0; j < i; j++ {
-				if b[j] && !a[j] {
-					ok = false
-					break
-				}
-			}
-			if ok {
+			if !b.AnyBelowNotIn(a, i) {
 				a = b
 				emit(a)
 				advanced = true

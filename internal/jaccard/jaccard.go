@@ -2,6 +2,11 @@
 // of §II-E/F: JSM[i][j] is the Jaccard similarity of the attribute sets of
 // traces i and j, and JSM_D = |JSM_faulty − JSM_normal| is the "diff of the
 // diffs" that isolates which similarity relations a fault changed.
+//
+// When the attribute sets share one fca.Interner (the pipeline's shape
+// since the bitset rewrite — see DESIGN.md §10), every cell is two
+// popcounts over word-packed bitsets; sets over foreign interners still
+// work via fca.Set's string-remap slow path.
 package jaccard
 
 import (

@@ -65,6 +65,17 @@ func goodMapToMap(m map[string]int) map[string]int {
 	return out
 }
 
+// goodDenseSliceScan is the idiom that replaced the lattice's map-keyed
+// concept store: intern keys to dense IDs once, keep the values in a
+// slice, and iterate the slice — insertion order is deterministic, so no
+// sort (and no allow directive) is needed.
+func goodDenseSliceScan(ids map[string]int, byID []int, b *strings.Builder) {
+	for _, v := range byID {
+		fmt.Fprintf(b, "%d\n", v)
+	}
+	_ = ids
+}
+
 func allowedEscape(m map[string]int) []string {
 	var out []string
 	//lint:allow maprange fixture: consumer treats the slice as a set and sorts before rendering
