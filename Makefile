@@ -40,7 +40,8 @@ determinism:
 	$(GO) test -race -short -count=2 \
 		-run 'Determinism|Workers|ParallelMatchesSequential|Ghost' \
 		./internal/core ./internal/jaccard ./internal/rank ./internal/obs \
-		./internal/experiments ./internal/resilience/chaos ./cmd/difftrace .
+		./internal/experiments ./internal/resilience/chaos ./internal/service \
+		./cmd/difftrace .
 
 # Worker-sweep benchmarks; regenerates the BENCH_parallel.json baseline.
 # On a single-CPU host the sweep measures overhead, not speedup (the JSON

@@ -16,6 +16,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +28,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"difftrace/internal/attr"
 	"difftrace/internal/automaded"
@@ -69,6 +72,11 @@ type options struct {
 	metrics bool
 	// pprofAddr serves net/http/pprof on this address for the run.
 	pprofAddr string
+	// timeout aborts the whole run (ingest and analysis) once elapsed;
+	// 0 disables. An expired run exits with exitTimeout, and a partial
+	// ingest report still prints under -ingest-report so the operator
+	// sees how far the read got.
+	timeout time.Duration
 	// errW receives the -metrics summary and pprof notices; nil means
 	// os.Stderr (tests substitute a buffer).
 	errW io.Writer
@@ -95,6 +103,7 @@ func main() {
 	manifest := flag.String("manifest", "", "write the run manifest (per-stage timings, metrics, pool utilization, ingestion totals) as JSON to this file")
 	metrics := flag.Bool("metrics", false, "print a human-readable metrics summary to stderr after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (exit code 3; -ingest-report still prints the partial read)")
 	flag.Parse()
 
 	if *normalPath == "" || *faultyPath == "" {
@@ -109,11 +118,27 @@ func main() {
 		report: *report, triage: *triage,
 		lenient: *lenient, ingestReport: *ingestReport, workers: *workers,
 		manifestPath: *manifest, metrics: *metrics, pprofAddr: *pprofAddr,
+		timeout: *timeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "difftrace:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// Exit codes: 1 generic failure, 2 usage (flag package convention),
+// 3 the -timeout deadline expired — distinct so wrappers can tell "the
+// input is bad" from "the input is too big for the budget".
+const (
+	exitFailure = 1
+	exitTimeout = 3
+)
+
+func exitCode(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return exitTimeout
+	}
+	return exitFailure
 }
 
 func splitList(s string) []string {
@@ -133,6 +158,14 @@ func run(w io.Writer, o options) error {
 	errW := o.errW
 	if errW == nil {
 		errW = io.Writer(os.Stderr)
+	}
+	// A nil ctx is never cancelled; -timeout arms a real deadline that
+	// every stage (ingest, summarize, cluster, sweep) observes.
+	var ctx context.Context
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), o.timeout)
+		defer cancel()
 	}
 	// The obs run exists only when some output will consume it; a nil run
 	// keeps every instrumented layer on its zero-cost fast path.
@@ -183,12 +216,15 @@ func run(w io.Writer, o options) error {
 	// Both runs must share one registry so function IDs align.
 	reg := trace.NewRegistry()
 	spIngest := obsRun.StartSpan("ingest")
-	normal, nrep, err := readSet(o.normalPath, reg, rdOpts)
+	normal, nrep, err := readSet(ctx, o.normalPath, reg, rdOpts)
 	if err != nil {
+		// A timed-out (or corrupt) read still surfaces how far it got.
+		writeIngest(w, o, nrep)
 		return err
 	}
-	faulty, frep, err := readSet(o.faultyPath, reg, rdOpts)
+	faulty, frep, err := readSet(ctx, o.faultyPath, reg, rdOpts)
 	if err != nil {
+		writeIngest(w, o, nrep, frep)
 		return err
 	}
 	spIngest.End()
@@ -204,7 +240,7 @@ func run(w io.Writer, o options) error {
 	customs := splitList(o.custom)
 
 	if o.sweep != "" {
-		tbl, err := rank.Sweep(normal, faulty, rank.Request{
+		tbl, err := rank.SweepContext(ctx, normal, faulty, rank.Request{
 			Specs:          splitList(o.sweep),
 			CustomPatterns: customs,
 			Linkage:        linkage,
@@ -227,7 +263,7 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.DiffRun(normal, faulty, core.Config{
+	rep, err := core.DiffRunContext(ctx, normal, faulty, core.Config{
 		Filter: flt, Attr: ac, Linkage: linkage, BuildLattices: o.lattice,
 		Resilient: o.lenient, Workers: o.workers, Obs: obsRun,
 	})
@@ -347,7 +383,7 @@ func writeTriage(w io.Writer, flt *filter.Filter, normal, faulty *trace.TraceSet
 // readSet loads a trace file in either format, sniffing the binary magic.
 // Strict errors are prefixed with the path; the IngestReport records what a
 // lenient read salvaged.
-func readSet(path string, reg *trace.Registry, opts trace.ReadOptions) (*trace.TraceSet, *resilience.IngestReport, error) {
+func readSet(ctx context.Context, path string, reg *trace.Registry, opts trace.ReadOptions) (*trace.TraceSet, *resilience.IngestReport, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -360,15 +396,16 @@ func readSet(path string, reg *trace.Registry, opts trace.ReadOptions) (*trace.T
 	)
 	magic, err := br.Peek(5)
 	if err == nil && string(magic) == "PLOT1" {
-		s, rep, err = parlot.ReadSetBinaryOptions(br, reg, opts)
+		s, rep, err = parlot.ReadSetBinaryContext(ctx, br, reg, opts)
 	} else {
-		s, rep, err = trace.ReadSetTextOptions(br, reg, opts)
+		s, rep, err = trace.ReadSetTextContext(ctx, br, reg, opts)
+	}
+	if rep != nil {
+		// Even a partial (timed-out/corrupt) report names its source.
+		rep.Source = path
 	}
 	if err != nil {
 		return nil, rep, fmt.Errorf("%s: %w", path, err)
-	}
-	if rep != nil {
-		rep.Source = path
 	}
 	return s, rep, nil
 }

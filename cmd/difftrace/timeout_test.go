@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"difftrace/internal/trace"
+)
+
+// writeBigTracePair materializes a pair large enough that a tiny -timeout
+// always expires mid-ingest.
+func writeBigTracePair(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	build := func(shift int) []byte {
+		set := trace.NewTraceSet()
+		for p := 0; p < 8; p++ {
+			tr := set.Get(trace.TID(p, 0))
+			for i := 0; i < 3000; i++ {
+				fn := set.Registry.ID(fmt.Sprintf("MPI_Fn_%d", (i+p*shift)%24))
+				tr.Append(fn, trace.Enter)
+				tr.Append(fn, trace.Exit)
+			}
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteSetText(&buf, set); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	n := filepath.Join(dir, "normal.trace")
+	f := filepath.Join(dir, "faulty.trace")
+	if err := os.WriteFile(n, build(0), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f, build(1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return n, f
+}
+
+// TestTimeoutExpiryIsDeadlineError: an expired -timeout surfaces as
+// context.DeadlineExceeded (so main maps it to the distinct exit code)
+// and -ingest-report still prints the partial read.
+func TestTimeoutExpiryIsDeadlineError(t *testing.T) {
+	normal, faulty := writeBigTracePair(t)
+	var buf bytes.Buffer
+	err := run(&buf, options{
+		normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward",
+		ingestReport: true,
+		timeout:      time.Nanosecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(buf.String(), "ingest") {
+		t.Fatalf("partial ingest report not printed on expiry:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), normal) {
+		t.Fatalf("partial ingest report does not name its source:\n%s", buf.String())
+	}
+}
+
+// TestTimeoutGenerousRunSucceeds: a comfortable -timeout changes nothing.
+func TestTimeoutGenerousRunSucceeds(t *testing.T) {
+	normal, faulty := writeBigTracePair(t)
+	var with, without bytes.Buffer
+	base := options{
+		normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward",
+	}
+	o := base
+	o.timeout = time.Minute
+	if err := run(&with, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&without, base); err != nil {
+		t.Fatal(err)
+	}
+	if with.String() != without.String() {
+		t.Fatal("-timeout changed the output of a run that fit the budget")
+	}
+	if !strings.Contains(with.String(), "B-score") {
+		t.Fatalf("run produced no result:\n%s", with.String())
+	}
+}
+
+// TestExitCodeMapping pins the wrapper-visible contract: deadline expiry
+// exits 3, everything else 1.
+func TestExitCodeMapping(t *testing.T) {
+	if got := exitCode(context.DeadlineExceeded); got != exitTimeout {
+		t.Fatalf("deadline exit = %d, want %d", got, exitTimeout)
+	}
+	if got := exitCode(fmt.Errorf("ingest: %w", context.DeadlineExceeded)); got != exitTimeout {
+		t.Fatalf("wrapped deadline exit = %d, want %d", got, exitTimeout)
+	}
+	if got := exitCode(errors.New("parse error")); got != exitFailure {
+		t.Fatalf("generic exit = %d, want %d", got, exitFailure)
+	}
+	if got := exitCode(context.Canceled); got != exitFailure {
+		t.Fatalf("cancel exit = %d, want %d (only the deadline gets 3)", got, exitFailure)
+	}
+}

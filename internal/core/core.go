@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -179,6 +180,17 @@ type levelRun struct {
 
 // DiffRun executes the full pipeline for one parameter combination.
 func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
+	return DiffRunContext(nil, normal, faulty, cfg)
+}
+
+// DiffRunContext is DiffRun with cooperative cancellation: ctx is observed
+// at every stage boundary and between worker-pool claims (pool.DoContext),
+// so a run can be cut short by a caller-supplied deadline or cancellation.
+// A cancelled run returns the wrapped ctx error — cancellation always
+// aborts, even under Config.Resilient, because a partial report must never
+// be mistaken for a degraded-but-complete one. A nil ctx is never
+// cancelled, making DiffRunContext(nil, ...) exactly DiffRun.
+func DiffRunContext(ctx context.Context, normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 	if cfg.Filter == nil {
 		cfg.Filter = filter.Everything()
 	}
@@ -221,7 +233,7 @@ func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 	// Phase 1: NLR over every (level, side, object) of the live levels,
 	// in parallel, against a shared deterministic loop table.
 	spSum := run.StartSpan("summarize")
-	if err := summarizeAll(levels, cfg, table); err != nil {
+	if err := summarizeAll(ctx, levels, cfg, table); err != nil {
 		return nil, err
 	}
 	spSum.End()
@@ -233,23 +245,31 @@ func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 	w := cfg.workers()
 	levelW := pool.Divide(w, len(levels))
 	levelErrs := make([]error, len(levels))
-	pool.DoObserved(run, "core.levels", w, len(levels), func(i int) {
+	poolErr := pool.DoObservedContext(ctx, run, "core.levels", w, len(levels), func(i int) {
 		lv := levels[i]
 		if lv.dead {
 			lv.level = emptyLevel()
 			return
 		}
 		if !cfg.Resilient {
-			levelErrs[i] = lv.analyze(cfg, levelW)
+			levelErrs[i] = lv.analyze(ctx, cfg, levelW)
 			return
 		}
 		if serr := resilience.Guard(lv.stage, "", func() error {
-			return lv.analyze(cfg, levelW)
+			return lv.analyze(ctx, cfg, levelW)
 		}); serr != nil {
 			lv.err = serr
 			lv.level = emptyLevel()
 		}
 	})
+	// Cancellation overrides Resilient degradation: any level failure that
+	// coincides with a dead ctx is an abort, not a degraded run.
+	if poolErr != nil {
+		return nil, fmt.Errorf("core: analyze: %w", poolErr)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("core: analyze: %w", ctx.Err())
+	}
 	for i, lv := range levels {
 		if err := levelErrs[i]; err != nil {
 			return nil, fmt.Errorf("core: %s: %w", lv.stage, err)
@@ -347,7 +367,7 @@ type nlrItem struct {
 // With Workers <= 1 the same rounds run inline on one goroutine; since the
 // absorb order never depends on scheduling, the resulting table and element
 // sequences are identical for every worker count.
-func summarizeAll(levels []*levelRun, cfg Config, table *nlr.Table) error {
+func summarizeAll(ctx context.Context, levels []*levelRun, cfg Config, table *nlr.Table) error {
 	var items []nlrItem
 	for _, lv := range levels {
 		if lv.dead {
@@ -363,12 +383,15 @@ func summarizeAll(levels []*levelRun, cfg Config, table *nlr.Table) error {
 	run := cfg.Obs
 	prevLen := -1
 	for round := 0; round < maxRounds && table.Len() != prevLen; round++ {
+		if ctx != nil && ctx.Err() != nil {
+			return fmt.Errorf("core: summarize: %w", ctx.Err())
+		}
 		prevLen = table.Len()
 		run.Counter("nlr.rounds").Add(1)
 		overlays := make([]*nlr.Table, len(items))
 		elems := make([][]nlr.Element, len(items))
 		roundErrs := make([]*resilience.StageError, len(items))
-		pool.DoObserved(run, "core.summarize", w, len(items), func(i int) {
+		poolErr := pool.DoObservedContext(ctx, run, "core.summarize", w, len(items), func(i int) {
 			it := items[i]
 			if it.side.nlrErrs[it.idx] != nil {
 				return // failed in an earlier round; stays skipped
@@ -394,6 +417,11 @@ func summarizeAll(levels []*levelRun, cfg Config, table *nlr.Table) error {
 				roundErrs[i] = serr
 			}
 		})
+		if poolErr != nil {
+			// Cancelled mid-round: the partial overlays must not be
+			// absorbed — a ctx abort leaves no half-merged table behind.
+			return fmt.Errorf("core: summarize: %w", poolErr)
+		}
 		// Barrier: merge discoveries in canonical order and land the
 		// round's sequences (remapped to the canonical IDs).
 		for i, it := range items {
@@ -413,8 +441,9 @@ func summarizeAll(levels []*levelRun, cfg Config, table *nlr.Table) error {
 }
 
 // analyze runs one level's attribute extraction and both sides' analyses,
-// then the cross-side comparison, with up to w workers.
-func (lv *levelRun) analyze(cfg Config, w int) error {
+// then the cross-side comparison, with up to w workers. A dead ctx aborts
+// between stages with the wrapped ctx error.
+func (lv *levelRun) analyze(ctx context.Context, cfg Config, w int) error {
 	// Attribute extraction over both sides' objects in parallel. Failed
 	// objects (either stage) are excluded from both sides below.
 	type attrItem struct {
@@ -430,7 +459,7 @@ func (lv *levelRun) analyze(cfg Config, w int) error {
 		}
 	}
 	run := cfg.Obs
-	pool.DoObserved(run, "core.attr", w, len(items), func(i int) {
+	attrErr := pool.DoObservedContext(ctx, run, "core.attr", w, len(items), func(i int) {
 		it := items[i]
 		o := it.side.objs[it.idx]
 		stage := lv.stage + "/" + it.side.name + "/attr"
@@ -457,6 +486,9 @@ func (lv *levelRun) analyze(cfg Config, w int) error {
 			it.side.attrErrs[it.idx] = serr
 		}
 	})
+	if attrErr != nil {
+		return fmt.Errorf("attr: %w", attrErr)
+	}
 
 	// An object skipped on either side must leave both, so the two JSMs
 	// keep identical name sets and jaccard.Diff/BScore stay well-defined.
@@ -488,11 +520,14 @@ func (lv *levelRun) analyze(cfg Config, w int) error {
 	sideW := pool.Divide(w, 2)
 	var analyses [2]*Analysis
 	sideErrs := make([]error, 2)
-	pool.DoObserved(run, "core.sides", w, 2, func(i int) {
+	buildErr := pool.DoObservedContext(ctx, run, "core.sides", w, 2, func(i int) {
 		sp := run.StartSpan("analyze/" + lv.key + "/" + lv.sides[i].name + "/build")
 		defer sp.End()
 		analyses[i], sideErrs[i] = lv.sides[i].buildAnalysis(cfg, interner, excluded, sideW)
 	})
+	if buildErr != nil {
+		return fmt.Errorf("build: %w", buildErr)
+	}
 	for _, err := range sideErrs {
 		if err != nil {
 			return err

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"difftrace/internal/attr"
+	"difftrace/internal/cluster"
+	"difftrace/internal/filter"
+	"difftrace/internal/trace"
+)
+
+func ctxTestSets() (*trace.TraceSet, *trace.TraceSet) {
+	reg := trace.NewRegistry()
+	build := func(shift int) *trace.TraceSet {
+		s := trace.NewTraceSetWith(reg)
+		for p := 0; p < 4; p++ {
+			tr := s.Get(trace.TID(p, 0))
+			for i := 0; i < 200; i++ {
+				fn := reg.ID("fn_" + string(rune('a'+(i+p*shift)%8)))
+				tr.Append(fn, trace.Enter)
+				tr.Append(fn, trace.Exit)
+			}
+		}
+		return s
+	}
+	return build(0), build(1)
+}
+
+// TestDiffRunContextCancelled: a pre-cancelled ctx aborts the run with the
+// wrapped ctx error — with and without Resilient, which must not degrade a
+// cancellation into an empty-but-successful report.
+func TestDiffRunContextCancelled(t *testing.T) {
+	normal, faulty := ctxTestSets()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, resilient := range []bool{false, true} {
+		_, err := DiffRunContext(ctx, normal, faulty, Config{
+			Filter:    filter.New(filter.MPIAll),
+			Attr:      attr.Config{Kind: attr.Single, Freq: attr.NoFreq},
+			Linkage:   cluster.Ward,
+			Resilient: resilient,
+			Workers:   4,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("resilient=%v: err = %v, want context.Canceled", resilient, err)
+		}
+	}
+}
+
+// TestDiffRunContextExpiredDeadline mirrors the per-job deadline path the
+// service uses.
+func TestDiffRunContextExpiredDeadline(t *testing.T) {
+	normal, faulty := ctxTestSets()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	_, err := DiffRunContext(ctx, normal, faulty, Config{
+		Filter:  filter.New(filter.MPIAll),
+		Attr:    attr.Config{Kind: attr.Single, Freq: attr.NoFreq},
+		Linkage: cluster.Ward,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestDiffRunContextNilMatchesDiffRun: the ctx-free wrapper and a live ctx
+// produce identical reports.
+func TestDiffRunContextNilMatchesDiffRun(t *testing.T) {
+	normal, faulty := ctxTestSets()
+	cfg := Config{
+		Filter:  filter.New(filter.MPIAll),
+		Attr:    attr.Config{Kind: attr.Single, Freq: attr.NoFreq},
+		Linkage: cluster.Ward,
+		Workers: 4,
+	}
+	a, err := DiffRun(normal, faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DiffRunContext(context.Background(), normal, faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Threads.BScore != b.Threads.BScore || a.Processes.BScore != b.Processes.BScore {
+		t.Fatalf("ctx run diverged: threads %v/%v processes %v/%v",
+			a.Threads.BScore, b.Threads.BScore, a.Processes.BScore, b.Processes.BScore)
+	}
+}

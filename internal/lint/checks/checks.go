@@ -5,6 +5,7 @@ package checks
 
 import (
 	"difftrace/internal/lint"
+	"difftrace/internal/lint/checks/ctxdiscipline"
 	"difftrace/internal/lint/checks/errwrap"
 	"difftrace/internal/lint/checks/maprange"
 	"difftrace/internal/lint/checks/nakedgoroutine"
@@ -16,6 +17,7 @@ import (
 // All returns every registered check in stable (alphabetical) order.
 func All() []*lint.Check {
 	return []*lint.Check{
+		ctxdiscipline.Check,
 		errwrap.Check,
 		maprange.Check,
 		nakedgoroutine.Check,

@@ -8,6 +8,7 @@ import (
 
 	"difftrace/internal/lint"
 	"difftrace/internal/lint/checks"
+	"difftrace/internal/lint/checks/ctxdiscipline"
 	"difftrace/internal/lint/checks/errwrap"
 	"difftrace/internal/lint/checks/maprange"
 	"difftrace/internal/lint/checks/nakedgoroutine"
@@ -29,6 +30,13 @@ func TestNakedgoroutine(t *testing.T)  { linttest.Run(t, nakedgoroutine.Check, f
 func TestPanicdiscipline(t *testing.T) { linttest.Run(t, panicdiscipline.Check, fixture("panicdiscipline")) }
 func TestNilreceiver(t *testing.T)     { linttest.Run(t, nilreceiver.Check, fixture("nilreceiver")) }
 func TestErrwrap(t *testing.T)         { linttest.Run(t, errwrap.Check, fixture("errwrap")) }
+func TestCtxdiscipline(t *testing.T)   { linttest.Run(t, ctxdiscipline.Check, fixture("ctxdiscipline")) }
+
+// TestCtxdisciplineMainExempt: the same patterns in a package main fixture
+// produce zero diagnostics — entry points own the root context.
+func TestCtxdisciplineMainExempt(t *testing.T) {
+	linttest.Run(t, ctxdiscipline.Check, fixture("ctxdiscipline_main"))
+}
 
 // TestJSONGolden pins the -json output shape: all checks over the jsonout
 // fixture must serialize byte-identically to the checked-in golden file.
@@ -54,10 +62,10 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
-// TestRegistryNames pins the registry: six invariants, stable names, every
-// check documented.
+// TestRegistryNames pins the registry: seven invariants, stable names,
+// every check documented.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"errwrap", "maprange", "nakedgoroutine", "nilreceiver", "panicdiscipline", "wallclock"}
+	want := []string{"ctxdiscipline", "errwrap", "maprange", "nakedgoroutine", "nilreceiver", "panicdiscipline", "wallclock"}
 	all := checks.All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d checks, want %d", len(all), len(want))

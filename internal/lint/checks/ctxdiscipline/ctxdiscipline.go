@@ -1,0 +1,94 @@
+// Package ctxdiscipline proves the cancellation-plumbing invariant that
+// makes difftraced's deadlines trustworthy: a context must FLOW — from
+// main, through every call signature, down to the resumable reader loops
+// — never be minted mid-pipeline or parked in a struct.
+//
+// Three rules, all type-checker-resolved:
+//
+//  1. context.Background()/context.TODO() may be called only in package
+//     main (the process entry points that legitimately own a root ctx).
+//     Library code takes ctx from its caller; the repo's nil-ctx wrapper
+//     convention (DiffRun → DiffRunContext(nil, ...)) exists precisely so
+//     legacy entry points need no Background() either.
+//  2. When a function takes a context.Context, it is the first parameter
+//     (after the receiver) — the Go API convention that keeps call sites
+//     grep-able and wrappers mechanical.
+//  3. context.Context never lives in a struct field. A stored ctx
+//     outlives the call it belongs to, silently decoupling cancellation
+//     from the work it is supposed to bound (store the CancelFunc if a
+//     type must trigger cancellation later).
+//
+// Test files are exempt by construction (the loader only binds invariants
+// to shipped code), so tests may use context.Background freely.
+package ctxdiscipline
+
+import (
+	"go/ast"
+
+	"difftrace/internal/lint"
+)
+
+// Check is the registered ctxdiscipline analyzer.
+var Check = &lint.Check{
+	Name: "ctxdiscipline",
+	Doc:  "contexts flow: Background/TODO only in package main, ctx is the first parameter, and no struct stores a Context",
+	Run:  run,
+}
+
+func run(p *lint.Pass) {
+	isMain := p.Pkg.Types != nil && p.Pkg.Types.Name() == "main"
+	p.InspectFiles(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isMain {
+				return true
+			}
+			if name, ok := p.PkgFuncCall(n, "context"); ok && (name == "Background" || name == "TODO") {
+				p.Reportf(n.Pos(),
+					"context.%s outside package main — accept ctx from the caller (use the nil-ctx wrapper convention for legacy entry points)",
+					name)
+			}
+		case *ast.FuncType:
+			// One case covers declarations, literals, interface methods,
+			// and func-typed expressions: ast.Inspect visits each
+			// FuncType node exactly once.
+			checkParams(p, n)
+		case *ast.StructType:
+			for _, f := range n.Fields.List {
+				if isCtxType(p, f.Type) {
+					p.Reportf(f.Pos(),
+						"context.Context stored in a struct field — contexts flow through call stacks, not object graphs; store the CancelFunc instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkParams flags context.Context parameters that are not in first
+// position.
+func checkParams(p *lint.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, f := range ft.Params.List {
+		width := len(f.Names)
+		if width == 0 {
+			width = 1
+		}
+		if pos > 0 && isCtxType(p, f.Type) {
+			p.Reportf(f.Pos(),
+				"context.Context is parameter %d — ctx goes first, so wrappers and call sites stay mechanical",
+				pos+1)
+		}
+		pos += width
+	}
+}
+
+// isCtxType resolves e through the type checker: true only for the real
+// context.Context, never a same-named local type.
+func isCtxType(p *lint.Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	return t != nil && t.String() == "context.Context"
+}

@@ -1,0 +1,47 @@
+// Fixture for the ctxdiscipline check: Background/TODO minted outside
+// package main, ctx in a non-first parameter slot, and ctx parked in a
+// struct field are flagged; ctx-first flow and a justified //lint:allow
+// escape.
+package ctxdiscipline
+
+import "context"
+
+func mintsRoot() context.Context {
+	return context.Background() // want `context.Background outside package main`
+}
+
+func mintsTODO() {
+	_ = context.TODO() // want `context.TODO outside package main`
+}
+
+func ctxSecond(name string, ctx context.Context) error { // want `context.Context is parameter 2`
+	_ = name
+	return ctx.Err()
+}
+
+type holder struct {
+	ctx  context.Context // want `context.Context stored in a struct field`
+	name string
+}
+
+type middleCtx interface {
+	Run(id int, ctx context.Context) error // want `context.Context is parameter 2`
+}
+
+// goodFlow is the sanctioned shape: ctx first, passed down, never stored.
+func goodFlow(ctx context.Context, name string) error {
+	f := func(ctx context.Context, n int) error { return ctx.Err() }
+	_ = name
+	return f(ctx, 1)
+}
+
+// nilCtxWrapper is the legacy-entry-point convention: no Background(),
+// the Context variant treats nil as "never cancelled".
+func nilCtxWrapper(name string) error {
+	return goodFlow(nil, name)
+}
+
+func allowedEscape() context.Context {
+	//lint:allow ctxdiscipline fixture: demonstrates a justified root-context mint
+	return context.Background()
+}

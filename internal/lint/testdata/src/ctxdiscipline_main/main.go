@@ -1,0 +1,17 @@
+// Fixture for the ctxdiscipline check's package-main exemption: entry
+// points legitimately own the root context, so Background/TODO here carry
+// no diagnostics (this file has zero want comments on purpose).
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	if err := serve(ctx); err != nil {
+		panic(err)
+	}
+}
+
+func serve(ctx context.Context) error {
+	return ctx.Err()
+}

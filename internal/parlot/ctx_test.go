@@ -1,0 +1,146 @@
+package parlot_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"difftrace/internal/parlot"
+	"difftrace/internal/resilience/chaos"
+	"difftrace/internal/trace"
+)
+
+// bigBinarySet serializes a PLOT1 file with enough traces and events that
+// cancellation lands mid-file (the reader checks ctx between traces and
+// every 8 Ki decoded symbols).
+func bigBinarySet(t *testing.T) []byte {
+	t.Helper()
+	set := trace.NewTraceSet()
+	for p := 0; p < 6; p++ {
+		tr := set.Get(trace.TID(p, 0))
+		for i := 0; i < 12000; i++ {
+			fn := set.Registry.ID("fn_" + string(rune('a'+i%16)))
+			tr.Append(fn, trace.Enter)
+			tr.Append(fn, trace.Exit)
+		}
+	}
+	var buf bytes.Buffer
+	if err := parlot.WriteSetBinary(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+type cancelAfterReader struct {
+	r      io.Reader
+	n      int
+	served int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.served += n
+	if c.served >= c.n && c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+	return n, err
+}
+
+func awaitGoroutineBaseline(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after cancelled ingest: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReadSetBinaryContextCancelMidIngest: a clean PLOT1 stream cancelled
+// mid-ingest returns the ctx error in both modes with intact partial
+// accounting, no invented quarantine records, and no leaked goroutines.
+func TestReadSetBinaryContextCancelMidIngest(t *testing.T) {
+	data := bigBinarySet(t)
+	for _, mode := range []trace.ReadMode{trace.Strict, trace.Lenient} {
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		car := &cancelAfterReader{r: bytes.NewReader(data), n: len(data) / 2, cancel: cancel}
+		set, rep, err := parlot.ReadSetBinaryContext(ctx, car, nil, trace.ReadOptions{Mode: mode})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mode=%s: err = %v, want context.Canceled", mode, err)
+		}
+		if set == nil || rep == nil {
+			t.Fatalf("mode=%s: cancelled read dropped the partial set/report", mode)
+		}
+		if rep.Quarantined() != 0 {
+			t.Errorf("mode=%s: cancellation invented %d quarantine records", mode, rep.Quarantined())
+		}
+		if got, want := set.TotalEvents(), rep.EventsKept+rep.EventsSynthesized; got != want {
+			t.Errorf("mode=%s: partial accounting broken: set has %d events, report accounts %d", mode, got, want)
+		}
+		if set.TotalEvents() >= 6*24000 {
+			t.Errorf("mode=%s: cancellation did not cut the ingest short (%d events)", mode, set.TotalEvents())
+		}
+		awaitGoroutineBaseline(t, baseline)
+	}
+}
+
+// TestReadSetBinaryContextCancelUnderChaos: the binary chaos operators'
+// output, cancelled mid-ingest, still returns the ctx error under lenient
+// salvage without leaking goroutines.
+func TestReadSetBinaryContextCancelUnderChaos(t *testing.T) {
+	data := bigBinarySet(t)
+	rng := rand.New(rand.NewSource(7))
+	for _, op := range chaos.Binary() {
+		corrupted := op.Apply(data, rng)
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		car := &cancelAfterReader{r: bytes.NewReader(corrupted), n: len(corrupted) / 2, cancel: cancel}
+		_, rep, err := parlot.ReadSetBinaryContext(ctx, car, nil, trace.ReadOptions{Mode: trace.Lenient})
+		cancel()
+		if err == nil {
+			// A header-level quarantine can legally consume the whole file
+			// before the cancellation lands.
+			if car.served < car.n {
+				t.Errorf("%s: lenient read swallowed the cancellation", op.Name)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", op.Name, err)
+		}
+		if rep == nil {
+			t.Errorf("%s: cancelled read dropped the partial report", op.Name)
+		}
+		awaitGoroutineBaseline(t, baseline)
+	}
+}
+
+// TestReadSetBinaryContextDeadline: an expired deadline aborts before any
+// trace decodes.
+func TestReadSetBinaryContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	set, _, err := parlot.ReadSetBinaryContext(ctx, bytes.NewReader(bigBinarySet(t)), nil, trace.ReadOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if set.TotalEvents() != 0 {
+		t.Fatalf("expired deadline still ingested %d events", set.TotalEvents())
+	}
+}

@@ -2,6 +2,7 @@ package parlot
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -145,6 +146,17 @@ func ReadSetBinary(r io.Reader, reg *trace.Registry) (*trace.TraceSet, error) {
 // set.TotalEvents() == EventsKept + EventsSynthesized. A lenient read
 // returns a nil error for any input.
 func ReadSetBinaryOptions(r io.Reader, reg *trace.Registry, opts trace.ReadOptions) (*trace.TraceSet, *resilience.IngestReport, error) {
+	return ReadSetBinaryContext(nil, r, reg, opts)
+}
+
+// ReadSetBinaryContext is ReadSetBinaryOptions with cooperative
+// cancellation: ctx is checked between traces and periodically inside each
+// trace's decoded-symbol append loop, so an oversized or hung ingest can be
+// aborted mid-stream. As with the text reader, cancellation overrides
+// lenient salvage — the wrapped ctx error is returned together with the
+// partial set and report, and nothing is quarantined on account of the
+// unread remainder. A nil ctx is never cancelled.
+func ReadSetBinaryContext(ctx context.Context, r io.Reader, reg *trace.Registry, opts trace.ReadOptions) (*trace.TraceSet, *resilience.IngestReport, error) {
 	if reg == nil {
 		reg = trace.NewRegistry()
 	}
@@ -209,6 +221,11 @@ func ReadSetBinaryOptions(r io.Reader, reg *trace.Registry, opts trace.ReadOptio
 	}
 	for t := uint64(0); t < numTraces && !failed; t++ {
 		recID := fmt.Sprintf("#%d", t) // until the header names the trace
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return set, rep, fmt.Errorf("parlot: trace %d: read cancelled: %w", t, cerr)
+			}
+		}
 		proc, err := binary.ReadUvarint(br)
 		if err != nil {
 			return set, rep, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d process: %w", t, err))
@@ -261,7 +278,12 @@ func ReadSetBinaryOptions(r io.Reader, reg *trace.Registry, opts trace.ReadOptio
 		}
 		tr := set.Get(id)
 		tr.Truncated = trunc != 0 || (lenient && (short || err != nil))
-		for _, s := range syms {
+		for si, s := range syms {
+			if ctx != nil && si&0x1fff == 0x1fff {
+				if cerr := ctx.Err(); cerr != nil {
+					return set, rep, fmt.Errorf("parlot: trace %d (%s): read cancelled: %w", t, id, cerr)
+				}
+			}
 			fileID := s >> 1
 			if int(fileID) >= len(fileToReg) {
 				if !lenient {

@@ -11,6 +11,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,15 +31,20 @@ func Workers(n int) int {
 
 // Divide splits a total worker budget across outer concurrent tasks so the
 // nested fan-out (outer tasks × inner workers) does not oversubscribe the
-// machine: it returns max(1, total/outer).
+// machine: it returns max(1, total/outer). The clamp matters when the
+// budget is smaller than the fan-out (total < outer, including total <= 0
+// after repeated nested division): every child must still get one worker,
+// or an inner Do would degenerate to a zero-iteration loop and silently
+// drop its items.
 func Divide(total, outer int) int {
 	if outer < 1 {
 		outer = 1
 	}
-	if w := total / outer; w > 1 {
-		return w
+	w := total / outer
+	if w < 1 {
+		w = 1
 	}
-	return 1
+	return w
 }
 
 // Do runs fn(i) for every i in [0, n) on up to workers goroutines and
@@ -53,7 +59,26 @@ func Divide(total, outer int) int {
 // fn bodies in resilience.Guard instead; Do's re-raise is the non-resilient
 // path where a panic is expected to propagate exactly as in a serial loop.)
 func Do(workers, n int, fn func(i int)) {
-	doPool(workers, n, fn)
+	doPool(nil, workers, n, fn)
+}
+
+// DoContext is Do with cooperative cancellation: every worker re-checks ctx
+// between item claims (and the inline path checks between iterations), so a
+// cancelled loop stops claiming new items while items already claimed run to
+// completion. It returns ctx.Err() when the loop was cut short, nil when
+// every item ran. A nil ctx is never cancelled — DoContext(nil, ...) is
+// exactly Do.
+//
+// Cancellation does not disturb the determinism contract: items that ran
+// produced exactly what a serial run would have, and the caller sees a
+// non-nil error whenever any item may have been skipped, so no partial
+// result is ever mistaken for a complete one.
+func DoContext(ctx context.Context, workers, n int, fn func(i int)) error {
+	doPool(ctx, workers, n, fn)
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // DoObserved is Do with worker busy/idle accounting folded into r under the
@@ -63,8 +88,21 @@ func Do(workers, n int, fn func(i int)) {
 // Run it is exactly Do — no clocks, no wrappers, no allocations — which is
 // the disabled fast path the pipeline runs by default.
 func DoObserved(r *obs.Run, site string, workers, n int, fn func(i int)) {
+	doObserved(nil, r, site, workers, n, fn)
+}
+
+// DoObservedContext is DoObserved with DoContext's cancellation semantics.
+func DoObservedContext(ctx context.Context, r *obs.Run, site string, workers, n int, fn func(i int)) error {
+	doObserved(ctx, r, site, workers, n, fn)
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+func doObserved(ctx context.Context, r *obs.Run, site string, workers, n int, fn func(i int)) {
 	if r == nil || n <= 0 {
-		doPool(workers, n, fn)
+		doPool(ctx, workers, n, fn)
 		return
 	}
 	eff := workers
@@ -81,14 +119,19 @@ func DoObserved(r *obs.Run, site string, workers, n int, fn func(i int)) {
 	defer func() {
 		r.Pool(site).Record(eff, n, time.Duration(busy.Load()), time.Since(start))
 	}()
-	doPool(workers, n, func(i int) {
+	doPool(ctx, workers, n, func(i int) {
 		t0 := time.Now()
 		defer func() { busy.Add(int64(time.Since(t0))) }()
 		fn(i)
 	})
 }
 
-func doPool(workers, n int, fn func(i int)) {
+// cancelled reports whether ctx is non-nil and already cancelled.
+func cancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
+func doPool(ctx context.Context, workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -97,6 +140,9 @@ func doPool(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if cancelled(ctx) {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -110,6 +156,9 @@ func doPool(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancelled(ctx) {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

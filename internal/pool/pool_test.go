@@ -1,6 +1,8 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -95,5 +97,91 @@ func TestWorkersAndDivide(t *testing.T) {
 	}
 	if got := Divide(8, 0); got != 8 {
 		t.Errorf("Divide(8,0) = %d", got)
+	}
+}
+
+// TestDivideClampsZeroBudgetChildren is the regression test for the
+// budget < workers edge case: nested division must never hand a child a
+// zero (or negative) worker budget — every child gets at least 1.
+func TestDivideClampsZeroBudgetChildren(t *testing.T) {
+	cases := []struct{ total, outer, want int }{
+		{1, 2, 1},   // budget smaller than fan-out
+		{3, 4, 1},   // truncating division would yield 0
+		{0, 4, 1},   // no budget at all
+		{-2, 4, 1},  // negative budget (repeated nested division gone wrong)
+		{4, -1, 4},  // degenerate outer
+		{7, 2, 3},   // ordinary truncation unchanged
+		{16, 4, 4},  // exact division unchanged
+	}
+	for _, c := range cases {
+		if got := Divide(c.total, c.outer); got != c.want {
+			t.Errorf("Divide(%d,%d) = %d, want %d", c.total, c.outer, got, c.want)
+		}
+		if got := Divide(c.total, c.outer); got < 1 {
+			t.Fatalf("Divide(%d,%d) = %d: zero-budget child", c.total, c.outer, got)
+		}
+	}
+	// Nested division to exhaustion still yields a usable budget.
+	w := 2
+	for i := 0; i < 8; i++ {
+		w = Divide(w, 4)
+		if w < 1 {
+			t.Fatalf("nested Divide collapsed to %d", w)
+		}
+	}
+}
+
+func TestDoContextNilCtxRunsAll(t *testing.T) {
+	n := 64
+	counts := make([]int32, n)
+	if err := DoContext(nil, 4, n, func(i int) { atomic.AddInt32(&counts[i], 1) }); err != nil {
+		t.Fatalf("DoContext(nil) err = %v", err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestDoContextCancelStopsClaims: a context cancelled mid-loop stops new
+// claims on every worker; items already claimed finish, and the call
+// reports ctx.Err().
+func TestDoContextCancelStopsClaims(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		const n = 1 << 20
+		err := DoContext(ctx, workers, n, func(i int) {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: cancellation did not stop the loop (%d items ran)", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestDoContextPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := DoContext(ctx, 4, 16, func(i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran under a pre-cancelled ctx", ran.Load())
+	}
+}
+
+func TestDoObservedContextCompleteIsNil(t *testing.T) {
+	if err := DoObservedContext(context.Background(), nil, "site", 2, 8, func(i int) {}); err != nil {
+		t.Fatalf("err = %v", err)
 	}
 }

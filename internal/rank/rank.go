@@ -8,6 +8,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -103,6 +104,14 @@ type combo struct {
 // Sweep runs every (spec × attrs) combination over the two executions,
 // optionally in parallel (Request.Parallel workers).
 func Sweep(normal, faulty *trace.TraceSet, req Request) (*Table, error) {
+	return SweepContext(nil, normal, faulty, req)
+}
+
+// SweepContext is Sweep with cooperative cancellation: ctx is observed
+// between combination claims and inside every DiffRun, so a sweep honors a
+// caller deadline. A cancelled sweep returns the wrapped ctx error — never
+// a partial table. A nil ctx is never cancelled.
+func SweepContext(ctx context.Context, normal, faulty *trace.TraceSet, req Request) (*Table, error) {
 	req.defaults()
 	if len(req.Specs) == 0 {
 		return nil, fmt.Errorf("rank: no filter specs given")
@@ -127,7 +136,7 @@ func Sweep(normal, faulty *trace.TraceSet, req Request) (*Table, error) {
 		sp := req.Obs.StartSpan("rank/" + c.spec + "/" + c.attr.String())
 		defer sp.End()
 		cfg := core.Config{Filter: c.flt, Attr: c.attr, Linkage: req.Linkage, Workers: runW, Obs: req.Obs}
-		rep, err := core.DiffRun(normal, faulty, cfg)
+		rep, err := core.DiffRunContext(ctx, normal, faulty, cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("rank: %s/%s: %w", c.spec, c.attr, err)
 			return
@@ -142,7 +151,9 @@ func Sweep(normal, faulty *trace.TraceSet, req Request) (*Table, error) {
 		}
 	}
 
-	pool.DoObserved(req.Obs, "rank.sweep", req.Parallel, len(combos), runOne)
+	if err := pool.DoObservedContext(ctx, req.Obs, "rank.sweep", req.Parallel, len(combos), runOne); err != nil {
+		return nil, fmt.Errorf("rank: sweep cancelled: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

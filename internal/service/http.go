@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// jobResponse is the wire shape of a job: the JobView plus, for done
+// jobs, the stored artifacts — the report text and the scrubbed obs
+// manifest that is the job's telemetry record.
+type jobResponse struct {
+	JobView
+	Report   string          `json:"report,omitempty"`
+	Manifest json.RawMessage `json:"manifest,omitempty"`
+}
+
+// errorResponse is the wire shape of every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the difftraced HTTP API:
+//
+//	POST /v1/diff      submit a pair           202 queued / 200 cached /
+//	                                           400 bad request /
+//	                                           429 queue full (Retry-After) /
+//	                                           503 draining
+//	GET  /v1/jobs/{id} job status + artifacts  200 / 404
+//	GET  /healthz      liveness                200 ok / 503 draining
+//	GET  /metrics      service metrics summary 200 (text)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/diff", s.handleDiff)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response writer errors have no recovery
+}
+
+func (s *Service) handleDiff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req DiffRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	view, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := jobResponse{JobView: view}
+	status := http.StatusAccepted
+	if view.State == StateDone {
+		status = http.StatusOK
+		s.attachArtifacts(&resp)
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such job"})
+		return
+	}
+	view, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such job"})
+		return
+	}
+	resp := jobResponse{JobView: view}
+	if view.State == StateDone {
+		s.attachArtifacts(&resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// attachArtifacts loads the stored report/manifest into the response. A
+// done job whose artifacts fail verification (quarantined between runs)
+// degrades the view: state reverts to failed with an explanatory error
+// rather than serving corrupt bytes.
+func (s *Service) attachArtifacts(resp *jobResponse) {
+	report, manifest, ok := s.Artifacts(resp.ID)
+	if !ok {
+		resp.State = StateFailed
+		resp.Error = "stored artifacts missing or quarantined; resubmit to recompute"
+		return
+	}
+	resp.Report = string(report)
+	resp.Manifest = json.RawMessage(manifest)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"queue_len": s.QueueDepth(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Obs == nil {
+		w.Write([]byte("metrics disabled (no obs run configured)\n")) //nolint:errcheck
+		return
+	}
+	s.cfg.Obs.WriteSummary(w)
+}

@@ -1,0 +1,169 @@
+package trace_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"difftrace/internal/resilience/chaos"
+	"difftrace/internal/trace"
+)
+
+// bigTextSet serializes a multi-trace set large enough that a mid-stream
+// cancellation point has plenty of input left to skip.
+func bigTextSet(t *testing.T) []byte {
+	t.Helper()
+	set := trace.NewTraceSet()
+	for p := 0; p < 8; p++ {
+		tr := set.Get(trace.TID(p, 0))
+		for i := 0; i < 2000; i++ {
+			fn := set.Registry.ID("fn_" + string(rune('a'+i%20)))
+			tr.Append(fn, trace.Enter)
+			tr.Append(fn, trace.Exit)
+		}
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteSetText(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// cancelAfterReader cancels ctx once n bytes have been served, so the
+// reader's own consumption drives the cancellation deterministically
+// mid-stream (no goroutines, no clocks).
+type cancelAfterReader struct {
+	r      io.Reader
+	n      int
+	served int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.served += n
+	if c.served >= c.n && c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+	return n, err
+}
+
+// goroutineSnapshot polls until the goroutine count returns to at most the
+// baseline (the stdlib analog of a goleak check: readers spawn nothing, so
+// any persistent growth is a leak).
+func goroutineSnapshot(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after cancelled ingest: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReadSetTextContextCancelMidIngest: a clean stream cancelled
+// mid-ingest returns the ctx error in both modes, leaves no quarantine
+// records behind for the unread remainder, keeps the partial accounting
+// invariant, and leaks no goroutines.
+func TestReadSetTextContextCancelMidIngest(t *testing.T) {
+	data := bigTextSet(t)
+	for _, mode := range []trace.ReadMode{trace.Strict, trace.Lenient} {
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		car := &cancelAfterReader{r: bytes.NewReader(data), n: len(data) / 2, cancel: cancel}
+		set, rep, err := trace.ReadSetTextContext(ctx, car, nil, trace.ReadOptions{Mode: mode})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mode=%s: err = %v, want context.Canceled", mode, err)
+		}
+		if rep == nil || set == nil {
+			t.Fatalf("mode=%s: cancelled read dropped the partial set/report", mode)
+		}
+		if rep.Quarantined() != 0 {
+			t.Errorf("mode=%s: cancellation invented %d quarantine records", mode, rep.Quarantined())
+		}
+		if got, want := set.TotalEvents(), rep.EventsKept+rep.EventsSynthesized; got != want {
+			t.Errorf("mode=%s: partial accounting broken: set has %d events, report accounts %d", mode, got, want)
+		}
+		if set.TotalEvents() >= 8*4000 {
+			t.Errorf("mode=%s: cancellation did not cut the ingest short (%d events)", mode, set.TotalEvents())
+		}
+		goroutineSnapshot(t, baseline)
+	}
+}
+
+// TestReadSetTextContextCancelUnderChaos: every text chaos operator's
+// corrupted output, cancelled mid-ingest, still returns the ctx error (not
+// a salvage verdict) without leaking goroutines.
+func TestReadSetTextContextCancelUnderChaos(t *testing.T) {
+	data := bigTextSet(t)
+	rng := rand.New(rand.NewSource(42))
+	for _, op := range chaos.Text() {
+		corrupted := op.Apply(data, rng)
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		car := &cancelAfterReader{r: bytes.NewReader(corrupted), n: len(corrupted) / 2, cancel: cancel}
+		_, rep, err := trace.ReadSetTextContext(ctx, car, nil, trace.ReadOptions{Mode: trace.Lenient})
+		cancel()
+		if err == nil {
+			// Legal only if the stream was effectively consumed before the
+			// cancellation landed (an operator that shrank the input).
+			if car.served < car.n {
+				t.Errorf("%s: lenient read swallowed the cancellation", op.Name)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", op.Name, err)
+		}
+		if rep == nil {
+			t.Errorf("%s: cancelled read dropped the partial report", op.Name)
+		}
+		goroutineSnapshot(t, baseline)
+	}
+}
+
+// TestReadSetTextContextDeadline: an already-expired deadline aborts before
+// any event is ingested.
+func TestReadSetTextContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	set, _, err := trace.ReadSetTextContext(ctx, bytes.NewReader(bigTextSet(t)), nil, trace.ReadOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if set.TotalEvents() != 0 {
+		t.Fatalf("expired deadline still ingested %d events", set.TotalEvents())
+	}
+}
+
+// TestReadSetTextContextNilCtx: a nil ctx reads identically to the
+// ctx-free entry point.
+func TestReadSetTextContextNilCtx(t *testing.T) {
+	data := bigTextSet(t)
+	a, _, err := trace.ReadSetTextContext(nil, bytes.NewReader(data), nil, trace.ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.ReadSetText(bytes.NewReader(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEvents() != b.TotalEvents() || len(a.Traces) != len(b.Traces) {
+		t.Fatalf("nil-ctx read diverged: %d/%d events, %d/%d traces",
+			a.TotalEvents(), b.TotalEvents(), len(a.Traces), len(b.Traces))
+	}
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -208,6 +209,17 @@ func ReadSetText(r io.Reader, reg *Registry) (*TraceSet, error) {
 // lenient read returns a nil error for any input (malformed content is
 // salvaged, not fatal). Strict errors name the offending line and trace.
 func ReadSetTextOptions(r io.Reader, reg *Registry, opts ReadOptions) (*TraceSet, *resilience.IngestReport, error) {
+	return ReadSetTextContext(nil, r, reg, opts)
+}
+
+// ReadSetTextContext is ReadSetTextOptions with cooperative cancellation:
+// the resumable-line loop checks ctx between lines, so a hung or oversized
+// ingest can be aborted mid-stream. Cancellation is an abort, not
+// corruption — even a Lenient read returns the ctx error (wrapped, so
+// errors.Is sees context.Canceled/DeadlineExceeded) together with the
+// partial set and report accumulated so far; no salvage records are
+// invented for the unread remainder. A nil ctx is never cancelled.
+func ReadSetTextContext(ctx context.Context, r io.Reader, reg *Registry, opts ReadOptions) (*TraceSet, *resilience.IngestReport, error) {
 	if reg == nil {
 		reg = NewRegistry()
 	}
@@ -256,6 +268,11 @@ func ReadSetTextOptions(r io.Reader, reg *Registry, opts ReadOptions) (*TraceSet
 	}
 
 	for {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return s, rep, fmt.Errorf("trace: line %d (trace %s): read cancelled: %w", lineno, curName(), cerr)
+			}
+		}
 		raw, tooLong, err := lr.next()
 		if err == io.EOF {
 			break
