@@ -3,7 +3,7 @@
 # corrupt-input fuzz seed corpora.
 GO ?= go
 
-.PHONY: all build vet lint test race determinism bench bench-fca profile fuzz-seeds fuzz check
+.PHONY: all build vet lint test race determinism bench bench-fca bench-streaming memceiling profile fuzz-seeds fuzz check
 
 all: build
 
@@ -80,11 +80,30 @@ profile:
 # the bitset-vs-map AttrSet equivalence scripts) as regular tests — no
 # fuzzing engine, deterministic, fast.
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/trace ./internal/parlot ./internal/fca/reftest
+	$(GO) test -run='^Fuzz' ./internal/trace ./internal/parlot ./internal/nlr ./internal/fca/reftest
 
-# Short live fuzzing session over the trace readers.
+# Short live fuzzing session over the trace readers and the streaming
+# equivalence targets (streaming reader vs batch reader, streaming NLR vs
+# batch NLR).
 fuzz:
 	$(GO) test -fuzz=FuzzReadSetText -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzReadSetBinary -fuzztime=30s ./internal/parlot
+	$(GO) test -fuzz=FuzzStreamReader -fuzztime=30s ./internal/parlot
+	$(GO) test -fuzz=FuzzStreamSummarize -fuzztime=30s ./internal/nlr
 
-check: vet build lint test race determinism fuzz-seeds
+# Streaming-vs-batch benchmark on the same PLOT1 bytes; regenerates the
+# BENCH_streaming.json baseline. The headline numbers are peak-heap-MiB
+# (batch materializes the expansion, streaming re-decodes per round) and
+# the wall-time delta the differential suite proves buys identical output.
+bench-streaming:
+	$(GO) test -run '^$$' -bench 'BenchmarkStreaming_' \
+		-benchmem -benchtime=3x -timeout 1200s . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -out BENCH_streaming.json $(BENCHJSON_FLAGS)
+
+# Streaming memory-ceiling proof: a 24M-event pair whose expansion is >=20x
+# the 8 MiB heap budget must analyze without the live heap ever crossing
+# it. Skipped under -short; CI runs it in its own job.
+memceiling:
+	$(GO) test -run 'TestStreamingMemoryCeiling' -count=1 -v -timeout 600s .
+
+check: vet build lint test race determinism fuzz-seeds memceiling

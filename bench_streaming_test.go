@@ -1,0 +1,88 @@
+// Streaming-vs-batch benchmark: same PLOT1 bytes, same report, two memory
+// stories. `make bench-streaming` regenerates the BENCH_streaming.json
+// baseline; the headline numbers are the peak-heap-MiB gap between
+// mode=batch (which materializes the expansion) and mode=stream (which
+// re-decodes per round) and the wall-time cost streaming pays for it.
+package difftrace_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"difftrace/internal/attr"
+	"difftrace/internal/cluster"
+	"difftrace/internal/core"
+	"difftrace/internal/filter"
+	"difftrace/internal/obs"
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+// streamBenchConfig is the shared analysis configuration of both modes.
+func streamBenchConfig() core.Config {
+	return core.Config{
+		Filter: filter.Everything(), Attr: attr.Config{Kind: attr.Single, Freq: attr.Actual},
+		Linkage: cluster.Ward, Workers: 2,
+	}
+}
+
+// BenchmarkStreaming_DiffRun runs the full diff over a loopy 8M-event pair
+// in both modes, reporting the sampled peak heap (over a post-GC baseline)
+// alongside the usual time/allocs. The reports are byte-identical — the
+// differential suite proves that; this benchmark prices the two paths.
+func BenchmarkStreaming_DiffRun(b *testing.B) {
+	const threads, eventsPerThread = 4, 1_000_000
+	normalBlob := genStreamPlot(b, threads, eventsPerThread, 0)
+	faultyBlob := genStreamPlot(b, threads, eventsPerThread, 2)
+
+	measure := func(b *testing.B, run func()) {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		baseline := ms.HeapAlloc
+		sampler := obs.StartHeapSampler(time.Millisecond)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+		b.StopTimer()
+		peak := sampler.Stop()
+		b.ReportMetric(float64(int64(peak)-int64(baseline))/(1<<20), "peak-heap-MiB")
+	}
+
+	b.Run("mode=batch", func(b *testing.B) {
+		measure(b, func() {
+			reg := trace.NewRegistry()
+			normal, _, err := parlot.ReadSetBinaryOptions(bytes.NewReader(normalBlob), reg, trace.ReadOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			faulty, _, err := parlot.ReadSetBinaryOptions(bytes.NewReader(faultyBlob), reg, trace.ReadOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.DiffRun(normal, faulty, streamBenchConfig()); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("mode=stream", func(b *testing.B) {
+		measure(b, func() {
+			reg := trace.NewRegistry()
+			normal, _, err := parlot.ReadStreamSetOptions(bytes.NewReader(normalBlob), reg, trace.ReadOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			faulty, _, err := parlot.ReadStreamSetOptions(bytes.NewReader(faultyBlob), reg, trace.ReadOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.DiffRunStream(normal, faulty, streamBenchConfig()); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+}

@@ -56,6 +56,10 @@ type options struct {
 	top                    int
 	heatmap, lattice       bool
 	color, report, triage  bool
+	// stream analyzes PLOT1 inputs without ever expanding them: traces
+	// stay compressed and each pipeline stage re-decodes on the fly.
+	// Output is byte-identical to the materialized path on the same bytes.
+	stream bool
 	// lenient salvages corrupt/truncated trace files instead of failing
 	// and runs the pipeline resiliently (per-trace failures isolated).
 	lenient bool
@@ -97,6 +101,7 @@ func main() {
 	color := flag.Bool("color", false, "ANSI colors in diffNLR output")
 	report := flag.Bool("report", false, "print the full debugging report (suspects + diffNLRs of the top suspects)")
 	triage := flag.Bool("triage", false, "append the companion analyses: STAT stack classes, AutomaDeD outliers, progress ranking")
+	stream := flag.Bool("stream", false, "stream PLOT1 inputs: analyze without expanding the compressed traces (same output, bounded memory)")
 	lenient := flag.Bool("lenient", false, "salvage corrupt/truncated trace files instead of failing, and isolate per-trace pipeline failures")
 	ingestReport := flag.Bool("ingest-report", false, "print the per-trace ingestion/degradation report")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the analysis pipeline (results do not depend on this)")
@@ -116,7 +121,7 @@ func main() {
 		custom: *custom, diffTarget: *diffTarget, sweep: *sweep, top: *top,
 		heatmap: *showHeatmap, lattice: *showLattice, color: *color,
 		report: *report, triage: *triage,
-		lenient: *lenient, ingestReport: *ingestReport, workers: *workers,
+		stream: *stream, lenient: *lenient, ingestReport: *ingestReport, workers: *workers,
 		manifestPath: *manifest, metrics: *metrics, pprofAddr: *pprofAddr,
 		timeout: *timeout,
 	})
@@ -178,6 +183,7 @@ func run(w io.Writer, o options) error {
 		obsRun.SetConfig("attr", o.attrSpec)
 		obsRun.SetConfig("linkage", o.linkageName)
 		obsRun.SetConfig("sweep", o.sweep)
+		obsRun.SetConfig("stream", strconv.FormatBool(o.stream))
 		obsRun.SetConfig("lenient", strconv.FormatBool(o.lenient))
 		obsRun.SetConfig("workers", strconv.Itoa(o.workers))
 	}
@@ -209,20 +215,43 @@ func run(w io.Writer, o options) error {
 		}
 	}()
 
+	// The sweep and triage views re-analyze materialized trace sets; they
+	// are batch-only by construction, so fail fast before any ingest work.
+	if o.stream && o.sweep != "" {
+		return errors.New("-stream does not support -sweep (the ranking sweep re-filters materialized sets)")
+	}
+	if o.stream && o.triage {
+		return errors.New("-stream does not support -triage (companion analyses read materialized traces)")
+	}
+
 	rdOpts := trace.ReadOptions{Obs: obsRun}
 	if o.lenient {
 		rdOpts.Mode = trace.Lenient
 	}
 	// Both runs must share one registry so function IDs align.
 	reg := trace.NewRegistry()
+	var (
+		normal, faulty   *trace.TraceSet
+		snormal, sfaulty *parlot.StreamSet
+		nrep, frep       *resilience.IngestReport
+		err              error
+	)
 	spIngest := obsRun.StartSpan("ingest")
-	normal, nrep, err := readSet(ctx, o.normalPath, reg, rdOpts)
+	if o.stream {
+		snormal, nrep, err = readStreamSet(ctx, o.normalPath, reg, rdOpts)
+	} else {
+		normal, nrep, err = readSet(ctx, o.normalPath, reg, rdOpts)
+	}
 	if err != nil {
 		// A timed-out (or corrupt) read still surfaces how far it got.
 		writeIngest(w, o, nrep)
 		return err
 	}
-	faulty, frep, err := readSet(ctx, o.faultyPath, reg, rdOpts)
+	if o.stream {
+		sfaulty, frep, err = readStreamSet(ctx, o.faultyPath, reg, rdOpts)
+	} else {
+		faulty, frep, err = readSet(ctx, o.faultyPath, reg, rdOpts)
+	}
 	if err != nil {
 		writeIngest(w, o, nrep, frep)
 		return err
@@ -230,7 +259,13 @@ func run(w io.Writer, o options) error {
 	spIngest.End()
 	obsRun.AddIngest(ingestTotals(nrep))
 	obsRun.AddIngest(ingestTotals(frep))
-	fmt.Fprintf(w, "normal: %s   faulty: %s\n", normal, faulty)
+	if o.stream {
+		// StreamSet renders the same "TraceSet{...}" header, so the two
+		// modes stay line-for-line comparable.
+		fmt.Fprintf(w, "normal: %s   faulty: %s\n", snormal, sfaulty)
+	} else {
+		fmt.Fprintf(w, "normal: %s   faulty: %s\n", normal, faulty)
+	}
 	writeIngest(w, o, nrep, frep)
 
 	linkage, err := cluster.ParseMethod(o.linkageName)
@@ -263,10 +298,16 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.DiffRunContext(ctx, normal, faulty, core.Config{
+	cfg := core.Config{
 		Filter: flt, Attr: ac, Linkage: linkage, BuildLattices: o.lattice,
 		Resilient: o.lenient, Workers: o.workers, Obs: obsRun,
-	})
+	}
+	var rep *core.Report
+	if o.stream {
+		rep, err = core.DiffRunStreamContext(ctx, snormal, sfaulty, cfg)
+	} else {
+		rep, err = core.DiffRunContext(ctx, normal, faulty, cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -402,6 +443,30 @@ func readSet(ctx context.Context, path string, reg *trace.Registry, opts trace.R
 	}
 	if rep != nil {
 		// Even a partial (timed-out/corrupt) report names its source.
+		rep.Source = path
+	}
+	if err != nil {
+		return nil, rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, rep, nil
+}
+
+// readStreamSet loads a PLOT1 file as a compressed StreamSet for -stream.
+// The text format has no compressed representation to stream, so anything
+// without the binary magic is rejected up front.
+func readStreamSet(ctx context.Context, path string, reg *trace.Registry, opts trace.ReadOptions) (*parlot.StreamSet, *resilience.IngestReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(5)
+	if err != nil || string(magic) != "PLOT1" {
+		return nil, nil, fmt.Errorf("%s: -stream needs the PLOT1 binary format (re-emit with tracegen's binary output)", path)
+	}
+	s, rep, err := parlot.ReadStreamSetContext(ctx, br, reg, opts)
+	if rep != nil {
 		rep.Source = path
 	}
 	if err != nil {

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"difftrace/internal/apps/oddeven"
+	"difftrace/internal/faults"
+	"difftrace/internal/parlot"
+)
+
+// writeBinaryPair generates a normal/faulty PLOT1 pair — the format the
+// -stream path requires.
+func writeBinaryPair(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name string, plan *faults.Plan) string {
+		tr := parlot.NewTracer(parlot.MainImage)
+		if _, err := oddeven.Run(oddeven.Config{Procs: 16, Seed: 5, Plan: plan, Tracer: tr}); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := parlot.WriteSetBinary(f, tr.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	plan, _ := faults.Named("swapBug")
+	return write("normal.bin", nil), write("faulty.bin", plan)
+}
+
+// TestRunStreamMatchesBatchDeterminism: the CLI's -stream path produces
+// byte-identical stdout to the materialized path on the same PLOT1 files,
+// across the report/heatmap/diffnlr surfaces and worker counts.
+func TestRunStreamMatchesBatchDeterminism(t *testing.T) {
+	normal, faulty := writeBinaryPair(t)
+	base := options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.actual", linkageName: "ward",
+		diffTarget: "5.0", top: 6, heatmap: true, lattice: true, report: true}
+
+	var batch bytes.Buffer
+	if err := run(&batch, base); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 8} {
+		o := base
+		o.stream = true
+		o.workers = w
+		var stream bytes.Buffer
+		if err := run(&stream, o); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch.Bytes(), stream.Bytes()) {
+			t.Fatalf("workers=%d: -stream output differs from batch:\n--- batch ---\n%s\n--- stream ---\n%s",
+				w, batch.String(), stream.String())
+		}
+	}
+}
+
+// TestRunStreamErrors: -stream refuses text inputs and the batch-only
+// modes, each with an error naming the conflict.
+func TestRunStreamErrors(t *testing.T) {
+	textNormal, textFaulty := writePair(t)
+	binNormal, binFaulty := writeBinaryPair(t)
+	for _, tc := range []struct {
+		name string
+		o    options
+		want string
+	}{
+		{"text-input", options{normalPath: textNormal, faultyPath: textFaulty, stream: true,
+			filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward"}, "PLOT1"},
+		{"sweep", options{normalPath: binNormal, faultyPath: binFaulty, stream: true,
+			sweep: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward"}, "-sweep"},
+		{"triage", options{normalPath: binNormal, faultyPath: binFaulty, stream: true, triage: true, report: true,
+			filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward"}, "-triage"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(&buf, tc.o)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

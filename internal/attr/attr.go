@@ -225,25 +225,13 @@ func ExtractContext(tr *trace.Trace, reg *trace.Registry, f Freq) fca.AttrSet {
 }
 
 // ExtractContextIn is ExtractContext binding the result to a shared
-// interner (see ExtractIn for the concurrency contract).
+// interner (see ExtractIn for the concurrency contract). It drives the
+// same ContextStream accumulator the streaming pipeline uses, so the two
+// paths share one definition of the caller→callee relation.
 func ExtractContextIn(in *Interner, tr *trace.Trace, reg *trace.Registry, f Freq) fca.AttrSet {
-	freqs := make(map[string]int)
-	var stack []string
+	cs := NewContextStream()
 	for _, e := range tr.Events {
-		name := reg.Name(e.Func)
-		switch e.Kind {
-		case trace.Enter:
-			caller := "_"
-			if len(stack) > 0 {
-				caller = stack[len(stack)-1]
-			}
-			freqs[caller+">"+name]++
-			stack = append(stack, name)
-		case trace.Exit:
-			if n := len(stack); n > 0 && stack[n-1] == name {
-				stack = stack[:n-1]
-			}
-		}
+		cs.Push(reg.Name(e.Func), e.Kind)
 	}
-	return renderAll(in, freqs, f)
+	return cs.ExtractIn(in, f)
 }

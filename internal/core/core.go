@@ -33,6 +33,7 @@ import (
 	"difftrace/internal/jaccard"
 	"difftrace/internal/nlr"
 	"difftrace/internal/obs"
+	"difftrace/internal/parlot"
 	"difftrace/internal/pool"
 	"difftrace/internal/resilience"
 	"difftrace/internal/trace"
@@ -59,6 +60,15 @@ type Config struct {
 	// all share this budget. 0 means runtime.GOMAXPROCS(0); 1 runs the
 	// whole pipeline inline. Output is identical for every value.
 	Workers int
+	// Streaming marks a run consuming compressed parlot.StreamSets via
+	// DiffRunStream: events are decoded and filtered on the fly each
+	// summarization round, so peak memory is bounded by the compressed
+	// trace plus the summarized forms, never the expansion. Set by
+	// DiffRunStream itself; DiffRunContext rejects it (a materialized set
+	// has nothing to stream). The report is byte-identical to the batch
+	// path's — the differential suite and the two Fuzz*Stream* targets pin
+	// that equivalence.
+	Streaming bool
 	// Obs, when non-nil, collects the run's observability picture: stage
 	// spans, NLR interning and per-level counts, pool utilization, and
 	// degraded-stage records (see internal/obs). Instrumentation never
@@ -191,6 +201,9 @@ func DiffRun(normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
 // be mistaken for a degraded-but-complete one. A nil ctx is never
 // cancelled, making DiffRunContext(nil, ...) exactly DiffRun.
 func DiffRunContext(ctx context.Context, normal, faulty *trace.TraceSet, cfg Config) (*Report, error) {
+	if cfg.Streaming {
+		return nil, fmt.Errorf("core: Config.Streaming set on a materialized run; use DiffRunStream with parlot StreamSets")
+	}
 	if cfg.Filter == nil {
 		cfg.Filter = filter.Everything()
 	}
@@ -212,6 +225,73 @@ func DiffRunContext(ctx context.Context, normal, faulty *trace.TraceSet, cfg Con
 	levels := []*levelRun{
 		newLevelRun("thread level", "threads", threadObjects(fn), threadObjects(ff)),
 		newLevelRun("process level", "processes", processObjects(fn), processObjects(ff)),
+	}
+	return diffRun(ctx, cfg, rep, table, levels)
+}
+
+// DiffRunStream executes the full pipeline over compressed StreamSets: the
+// traces are never expanded — each summarization round re-decodes the
+// per-thread FCM/RLE streams and filters symbols on the fly, attribute
+// extraction consumes the summarized sequences (or re-streams the events
+// for the caller→callee kind), and the lattice/JSM stages see exactly the
+// inputs the batch path would hand them. The report is byte-identical to
+// DiffRun on the materialized equivalent of the same bytes.
+func DiffRunStream(normal, faulty *parlot.StreamSet, cfg Config) (*Report, error) {
+	return DiffRunStreamContext(nil, normal, faulty, cfg)
+}
+
+// DiffRunStreamContext is DiffRunStream with cooperative cancellation,
+// behaving exactly as DiffRunContext does: every stage boundary, worker
+// claim, and (new here) per-object decode loop observes ctx, and a
+// cancelled run aborts even under Config.Resilient. Workers, Resilient,
+// and Obs compose identically to the batch path.
+func DiffRunStreamContext(ctx context.Context, normal, faulty *parlot.StreamSet, cfg Config) (*Report, error) {
+	cfg.Streaming = true
+	if cfg.Filter == nil {
+		cfg.Filter = filter.Everything()
+	}
+	if cfg.Attr.Kind == attr.Context && cfg.Filter.DropReturns {
+		return nil, fmt.Errorf("core: caller/callee (ctx) attributes need return events; use a filter spec starting with 0")
+	}
+	run := cfg.Obs
+	spRun := run.StartSpan("diffrun")
+	defer spRun.End()
+	table := nlr.NewTable()
+	table.Observe(run)
+	rep := &Report{Cfg: cfg, LoopTable: table}
+
+	// Streaming defers filtering to decode time; the memo caches the
+	// per-function keep decision so replay filtering is O(1) per event.
+	// One memo per registry (a normal/faulty pair shares its registry by
+	// the same contract as TraceSets, but nothing breaks if it doesn't).
+	spFilter := run.StartSpan("diffrun/filter")
+	nm := cfg.Filter.Memo(normal.Registry)
+	fm := nm
+	if faulty.Registry != normal.Registry {
+		fm = cfg.Filter.Memo(faulty.Registry)
+	}
+	spFilter.End()
+
+	levels := []*levelRun{
+		newLevelRun("thread level", "threads",
+			threadStreamObjects(normal, cfg.Filter, nm), threadStreamObjects(faulty, cfg.Filter, fm)),
+		newLevelRun("process level", "processes",
+			processStreamObjects(normal, cfg.Filter, nm), processStreamObjects(faulty, cfg.Filter, fm)),
+	}
+	return diffRun(ctx, cfg, rep, table, levels)
+}
+
+// diffRun is the shared pipeline tail: everything after object
+// construction is common to the batch and streaming paths — the same
+// summarization fixpoint, overlay merges, attribute extraction,
+// canonicalization, and analysis run over both, which is what makes the
+// equivalence structural rather than coincidental.
+func diffRun(ctx context.Context, cfg Config, rep *Report, table *nlr.Table, levels []*levelRun) (*Report, error) {
+	run := cfg.Obs
+	if cfg.Streaming {
+		// Mode marker for manifests; constant, so manifests stay
+		// byte-identical across worker counts within the mode.
+		run.Counter("core.streaming").Add(1)
 	}
 
 	// Level entry: historically the first stage of each level's work. In a
@@ -403,7 +483,7 @@ func summarizeAll(ctx context.Context, levels []*levelRun, cfg Config, table *nl
 			work := func() {
 				fireStage(stage, o.name)
 				ov := nlr.NewOverlay(table)
-				elems[i] = nlr.SummarizeTrace(o.tr, o.reg, cfg.Filter.K, ov)
+				elems[i] = o.summarize(ctx, cfg.Filter.K, ov)
 				overlays[i] = ov
 			}
 			if !cfg.Resilient {
@@ -470,7 +550,7 @@ func (lv *levelRun) analyze(ctx context.Context, cfg Config, w int) error {
 			if cfg.Attr.Kind == attr.Context {
 				// Caller→callee attributes come from the raw enter/exit
 				// nesting, not the NLR sequence.
-				it.side.attrs[it.idx] = attr.ExtractContext(o.tr, o.reg, cfg.Attr.Freq)
+				it.side.attrs[it.idx] = o.extractContext(ctx, cfg.Attr.Freq)
 			} else {
 				it.side.attrs[it.idx] = attr.Extract(it.side.elems[it.idx], cfg.Attr)
 			}
@@ -605,11 +685,93 @@ func emptyLevel() *Level {
 	return &Level{Normal: empty(), Faulty: empty(), JSMD: jaccard.New(nil)}
 }
 
-// object is a named filtered trace.
+// object is a named event source: either a filtered materialized trace
+// (batch mode — tr is set) or a bundle of compressed per-thread streams
+// filtered during replay (streaming mode — sts is set). Ghosts created by
+// union carry an empty tr in both modes.
 type object struct {
 	name string
 	tr   *trace.Trace
 	reg  *trace.Registry
+
+	// Streaming-mode source: the compressed streams (one for a thread
+	// object, the process's threads in thread order for a process object)
+	// plus the filter applied per decoded symbol. Nil in batch mode.
+	sts []*parlot.StreamTrace
+	flt *filter.Filter
+	km  *filter.Memo
+}
+
+// forEachEvent walks the object's filtered events in trace order. The
+// batch path reads the already-filtered materialized trace; the streaming
+// path re-decodes the compressed blocks and applies the identical filter
+// predicate (drop-returns on kind, then the memoized KeepName) per symbol
+// — the same decisions filter.Apply makes, in the same order, which is
+// what makes the two modes' token streams equal event for event.
+//
+// ctx is observed every few thousand events so multi-million-event streams
+// stay cancellable mid-object. An early bail implies ctx.Err() != nil,
+// which the pipeline's stage-boundary checks turn into a run abort — a
+// partially walked object can never reach a successful report.
+func (o object) forEachEvent(ctx context.Context, yield func(name string, kind trace.EventKind)) {
+	n := 0
+	alive := func() bool {
+		n++
+		return ctx == nil || n&0x1fff != 0 || ctx.Err() == nil
+	}
+	if o.sts == nil {
+		for _, e := range o.tr.Events {
+			if !alive() {
+				return
+			}
+			yield(o.reg.Name(e.Func), e.Kind)
+		}
+		return
+	}
+	for _, st := range o.sts {
+		r := st.Reader()
+		for {
+			fn, kind, ok := r.Next()
+			if !ok {
+				break
+			}
+			if !alive() {
+				return
+			}
+			if o.flt.DropReturns && kind == trace.Exit {
+				continue
+			}
+			if !o.km.Keep(fn) {
+				continue
+			}
+			yield(o.reg.Name(fn), kind)
+		}
+	}
+}
+
+// summarize runs NLR over the object's filtered events: the same
+// tokenization as nlr.SummarizeTrace (exits surviving the filter render as
+// "ret:<name>"), pushed through one code path for both modes so their
+// summaries are equal by construction.
+func (o object) summarize(ctx context.Context, k int, table *nlr.Table) []nlr.Element {
+	s := nlr.NewSummarizer(k, table)
+	o.forEachEvent(ctx, func(name string, kind trace.EventKind) {
+		if kind == trace.Exit {
+			name = "ret:" + name
+		}
+		s.Push(name)
+	})
+	s.Finalize()
+	return s.Elements()
+}
+
+// extractContext mines caller→callee attributes from the object's raw
+// enter/exit stream; both modes drive the shared attr.ContextStream
+// accumulator (the one attr.ExtractContext wraps).
+func (o object) extractContext(ctx context.Context, f attr.Freq) fca.AttrSet {
+	cs := attr.NewContextStream()
+	o.forEachEvent(ctx, cs.Push)
+	return cs.ExtractIn(attr.NewInterner(), f)
 }
 
 // threadObjects names every per-thread trace "p.t".
@@ -626,6 +788,41 @@ func processObjects(s *trace.TraceSet) []object {
 	var out []object
 	for _, p := range s.Processes() {
 		out = append(out, object{name: strconv.Itoa(p), tr: s.ProcessTrace(p), reg: s.Registry})
+	}
+	return out
+}
+
+// threadStreamObjects names every per-thread stream "p.t" (streaming
+// counterpart of threadObjects over a filtered set — the filter rides
+// along and applies at decode time).
+func threadStreamObjects(ss *parlot.StreamSet, flt *filter.Filter, km *filter.Memo) []object {
+	var out []object
+	for _, id := range ss.IDs() {
+		out = append(out, object{
+			name: id.String(), reg: ss.Registry,
+			sts: []*parlot.StreamTrace{ss.Get(id)}, flt: flt, km: km,
+		})
+	}
+	return out
+}
+
+// processStreamObjects bundles each process's thread streams, in thread
+// order, into one object named "p" — the same concatenation
+// trace.TraceSet.ProcessTrace materializes, expressed as sequential
+// replay.
+func processStreamObjects(ss *parlot.StreamSet, flt *filter.Filter, km *filter.Memo) []object {
+	var out []object
+	for _, p := range ss.Processes() {
+		var sts []*parlot.StreamTrace
+		for _, id := range ss.IDs() {
+			if id.Process == p {
+				sts = append(sts, ss.Get(id))
+			}
+		}
+		out = append(out, object{
+			name: strconv.Itoa(p), reg: ss.Registry,
+			sts: sts, flt: flt, km: km,
+		})
 	}
 	return out
 }

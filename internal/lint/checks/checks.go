@@ -7,6 +7,7 @@ import (
 	"difftrace/internal/lint"
 	"difftrace/internal/lint/checks/ctxdiscipline"
 	"difftrace/internal/lint/checks/errwrap"
+	"difftrace/internal/lint/checks/expanddiscipline"
 	"difftrace/internal/lint/checks/maprange"
 	"difftrace/internal/lint/checks/nakedgoroutine"
 	"difftrace/internal/lint/checks/nilreceiver"
@@ -19,6 +20,7 @@ func All() []*lint.Check {
 	return []*lint.Check{
 		ctxdiscipline.Check,
 		errwrap.Check,
+		expanddiscipline.Check,
 		maprange.Check,
 		nakedgoroutine.Check,
 		nilreceiver.Check,

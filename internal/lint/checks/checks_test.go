@@ -10,6 +10,7 @@ import (
 	"difftrace/internal/lint/checks"
 	"difftrace/internal/lint/checks/ctxdiscipline"
 	"difftrace/internal/lint/checks/errwrap"
+	"difftrace/internal/lint/checks/expanddiscipline"
 	"difftrace/internal/lint/checks/maprange"
 	"difftrace/internal/lint/checks/nakedgoroutine"
 	"difftrace/internal/lint/checks/nilreceiver"
@@ -31,6 +32,9 @@ func TestPanicdiscipline(t *testing.T) { linttest.Run(t, panicdiscipline.Check, 
 func TestNilreceiver(t *testing.T)     { linttest.Run(t, nilreceiver.Check, fixture("nilreceiver")) }
 func TestErrwrap(t *testing.T)         { linttest.Run(t, errwrap.Check, fixture("errwrap")) }
 func TestCtxdiscipline(t *testing.T)   { linttest.Run(t, ctxdiscipline.Check, fixture("ctxdiscipline")) }
+func TestExpanddiscipline(t *testing.T) {
+	linttest.Run(t, expanddiscipline.Check, fixture("expanddiscipline"))
+}
 
 // TestCtxdisciplineMainExempt: the same patterns in a package main fixture
 // produce zero diagnostics — entry points own the root context.
@@ -62,10 +66,10 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
-// TestRegistryNames pins the registry: seven invariants, stable names,
+// TestRegistryNames pins the registry: eight invariants, stable names,
 // every check documented.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"ctxdiscipline", "errwrap", "maprange", "nakedgoroutine", "nilreceiver", "panicdiscipline", "wallclock"}
+	want := []string{"ctxdiscipline", "errwrap", "expanddiscipline", "maprange", "nakedgoroutine", "nilreceiver", "panicdiscipline", "wallclock"}
 	all := checks.All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d checks, want %d", len(all), len(want))

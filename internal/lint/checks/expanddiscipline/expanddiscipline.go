@@ -1,0 +1,47 @@
+// Package expanddiscipline confines nlr.Expand to tests and reference
+// oracles. Expand undoes the summarization — it materializes the full
+// token stream, which is exactly the O(events) allocation the streaming
+// pipeline exists to avoid (DESIGN.md §12). A production stage that calls
+// it silently forfeits the memory ceiling the memceiling job enforces, so
+// the invariant is proven at compile time instead: any non-test use of
+// difftrace/internal/nlr.Expand — call or function reference — is flagged.
+// A deliberate oracle needs //lint:allow expanddiscipline with a reason.
+package expanddiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"difftrace/internal/lint"
+)
+
+// nlrPath is the import path of the package that owns Expand.
+const nlrPath = "difftrace/internal/nlr"
+
+// Check is the registered expanddiscipline analyzer.
+var Check = &lint.Check{
+	Name: "expanddiscipline",
+	Doc:  "nlr.Expand stays in tests and reference oracles — production stages never materialize a summarized trace",
+	Run:  run,
+}
+
+func run(p *lint.Pass) {
+	p.InspectFiles(func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != "Expand" {
+			return true
+		}
+		// Uses only (never Defs): the declaration in package nlr is the
+		// sanctioned oracle; what the check forbids is production code
+		// reaching for it. Type-checker resolution means a local Expand of
+		// some other package never trips the check, and an aliased import
+		// of nlr still does.
+		fn, ok := p.Pkg.Info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != nlrPath {
+			return true
+		}
+		p.Reportf(id.Pos(),
+			"nlr.Expand materializes the full token stream — production stages stay summarized (streaming memory ceiling); keep Expand in tests and oracles or justify with //lint:allow expanddiscipline")
+		return true
+	})
+}

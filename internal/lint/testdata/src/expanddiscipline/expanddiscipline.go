@@ -1,0 +1,41 @@
+// Fixture for the expanddiscipline check: any production use of
+// nlr.Expand — direct call, aliased import, or bare function reference —
+// is flagged; summarized-form accessors stay clean; a justified
+// //lint:allow escapes.
+package expanddiscipline
+
+import (
+	"difftrace/internal/nlr"
+	summarized "difftrace/internal/nlr"
+)
+
+func badCall(elems []nlr.Element) []string {
+	return nlr.Expand(elems) // want `nlr\.Expand materializes`
+}
+
+func badAliasedCall(elems []nlr.Element) int {
+	return len(summarized.Expand(elems)) // want `nlr\.Expand materializes`
+}
+
+func badReference() func([]nlr.Element) []string {
+	// Passing Expand around is as forbidden as calling it: the
+	// materialization just happens at a distance.
+	return nlr.Expand // want `nlr\.Expand materializes`
+}
+
+func goodSummarizedAccess(elems []nlr.Element) []string {
+	// Tokens renders the summarized form without expanding loops — the
+	// sanctioned way to look at NLR output.
+	return nlr.Tokens(elems)
+}
+
+// Expand here is a local function that happens to share the name; the
+// type checker keeps it off the check's radar.
+func Expand(n int) int { return n * 2 }
+
+func goodLocalExpand() int { return Expand(21) }
+
+func allowedOracle(elems []nlr.Element) []string {
+	//lint:allow expanddiscipline fixture: demonstrates a justified oracle that needs the full expansion
+	return nlr.Expand(elems)
+}

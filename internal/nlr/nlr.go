@@ -424,6 +424,12 @@ func Tokens(elems []Element) []string {
 
 // Expand undoes the summarization, reproducing the original token stream —
 // NLR is a lossless abstraction (§II-A: "serves as a lossless abstraction").
+//
+// Expand materializes the full expansion and is for tests and reference
+// code only: the analysis pipeline must stay memory-bounded by the
+// summarized form (that is the point of Config.Streaming). The
+// expanddiscipline lint check rejects production calls; a deliberate
+// exception needs //lint:allow expanddiscipline with a reason.
 func Expand(elems []Element) []string {
 	var out []string
 	var rec func(es []Element)

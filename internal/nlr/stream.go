@@ -1,0 +1,28 @@
+package nlr
+
+// Streaming summarization. The Summarizer has always been an online
+// algorithm — Push consumes one token and reduces to fixpoint, holding only
+// the folded stack — so the streaming pipeline needs no second
+// implementation, just an entry point that pulls tokens instead of
+// expecting a materialized slice. Peak memory is the summarized stack, not
+// the token count: a loop of a billion iterations occupies one stack
+// element while it extends.
+//
+// Expand, the inverse, materializes the full token stream and is therefore
+// confined to tests and reference code; difftracelint's expanddiscipline
+// check proves no production path calls it.
+
+// SummarizeStream runs the full NLR pass (including finalization) over a
+// pulled token stream: next returns one token at a time and reports
+// exhaustion. It is definitionally equivalent to Summarize on the expanded
+// slice — both feed the same tokens through the same Summarizer — and
+// FuzzStreamSummarize pins that equivalence (same elements, same loop-table
+// contents) against arbitrary streams.
+func SummarizeStream(next func() (string, bool), k int, table *Table) []Element {
+	s := NewSummarizer(k, table)
+	for tok, ok := next(); ok; tok, ok = next() {
+		s.Push(tok)
+	}
+	s.Finalize()
+	return s.Elements()
+}

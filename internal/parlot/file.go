@@ -151,7 +151,7 @@ func ReadSetBinaryOptions(r io.Reader, reg *trace.Registry, opts trace.ReadOptio
 
 // ReadSetBinaryContext is ReadSetBinaryOptions with cooperative
 // cancellation: ctx is checked between traces and periodically inside each
-// trace's decoded-symbol append loop, so an oversized or hung ingest can be
+// trace's decoded-symbol loop, so an oversized or hung ingest can be
 // aborted mid-stream. As with the text reader, cancellation overrides
 // lenient salvage — the wrapped ctx error is returned together with the
 // partial set and report, and nothing is quarantined on account of the
@@ -170,6 +170,86 @@ func ReadSetBinaryContext(ctx context.Context, r io.Reader, reg *trace.Registry,
 		// included (lines don't apply to the binary format).
 		defer func() { trace.ObserveIngest(opts.Obs, cr.n, 0, rep, set) }()
 	}
+	dropSet, err := readBinary(ctx, r, reg, opts, rep, setSink{set: set})
+	if err != nil && dropSet {
+		return nil, rep, err
+	}
+	return set, rep, err
+}
+
+// binSink receives the structure decoded by readBinary. The batch reader's
+// sink materializes events into a trace.TraceSet; the streaming reader's
+// sink retains only compressed blocks and counts. Both are driven by the
+// one walker below, which is what makes their salvage decisions, caps, and
+// ingest accounting identical by construction rather than by parallel
+// maintenance of two readers.
+type binSink interface {
+	// nameTable delivers the file→registry function-ID remap once the name
+	// table has parsed (streaming retains it to decode blocks later).
+	nameTable(fileToReg []uint32)
+	// has reports whether a trace for id already exists (MaxTraces admits
+	// further records for known traces even at the cap).
+	has(id trace.ThreadID) bool
+	// count is the number of distinct traces opened so far.
+	count() int
+	// open returns the record handle for id, creating the trace if needed.
+	open(id trace.ThreadID) binRecord
+	// kept reports a trace's kept-event count for report backfill.
+	kept(id trace.ThreadID) (int, bool)
+}
+
+// binRecord is one binary record's sink-side handle.
+type binRecord interface {
+	// len is the trace's kept-event count so far (MaxEventsPerTrace gate).
+	len() int
+	// keep accepts one decoded event that passed every gate.
+	keep(fn uint32, kind trace.EventKind)
+	// setTruncated assigns the truncation flag from the record header
+	// (assignment, not OR: a later record for the same thread overwrites,
+	// exactly as the materializing reader always did).
+	setTruncated(bool)
+	// mark forces the truncation flag on (salvage drops).
+	mark()
+	// block hands over the record's compressed bytes (salvaged prefix
+	// included); the streaming sink retains them for replay.
+	block(comp []byte)
+}
+
+// setSink materializes decoded events into a TraceSet (the batch path).
+type setSink struct{ set *trace.TraceSet }
+
+func (s setSink) nameTable([]uint32) {}
+
+func (s setSink) has(id trace.ThreadID) bool { return s.set.Traces[id] != nil }
+
+func (s setSink) count() int { return len(s.set.Traces) }
+
+func (s setSink) open(id trace.ThreadID) binRecord { return setRecord{tr: s.set.Get(id)} }
+
+func (s setSink) kept(id trace.ThreadID) (int, bool) {
+	tr, ok := s.set.Traces[id]
+	if !ok {
+		return 0, false
+	}
+	return tr.Len(), true
+}
+
+type setRecord struct{ tr *trace.Trace }
+
+func (r setRecord) len() int                              { return r.tr.Len() }
+func (r setRecord) keep(fn uint32, kind trace.EventKind)  { r.tr.Append(fn, kind) }
+func (r setRecord) setTruncated(v bool)                   { r.tr.Truncated = v }
+func (r setRecord) mark()                                 { r.tr.Truncated = true }
+func (r setRecord) block([]byte)                          {}
+
+// readBinary walks one PLOT1 stream, decoding incrementally (one symbol at
+// a time — the expanded trace is never materialized here; what the sink
+// does with each event is its business). dropSet reports whether a strict
+// trace-level failure occurred, in which case the caller must discard the
+// partially populated sink (the historical contract: strict header-level
+// errors return the partial set, strict trace-level errors return nil).
+func readBinary(ctx context.Context, r io.Reader, reg *trace.Registry, opts trace.ReadOptions, rep *resilience.IngestReport, sink binSink) (dropSet bool, _ error) {
+	lenient := opts.Mode == trace.Lenient
 
 	// fail aborts a strict read; in lenient mode it quarantines the rest of
 	// the file under id and reports success with whatever was salvaged.
@@ -186,67 +266,68 @@ func ReadSetBinaryContext(ctx context.Context, r io.Reader, reg *trace.Registry,
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return set, rep, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: reading magic: %w", err))
+		return false, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: reading magic: %w", err))
 	}
 	if string(magic) != fileMagic {
-		return set, rep, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: bad magic %q", magic))
+		return false, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: bad magic %q", magic))
 	}
 
 	numNames, err := binary.ReadUvarint(br)
 	if err != nil {
-		return set, rep, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: name count: %w", err))
+		return false, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: name count: %w", err))
 	}
 	if numNames > 1<<24 {
-		return set, rep, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: implausible name count %d", numNames))
+		return false, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: implausible name count %d", numNames))
 	}
 	fileToReg := make([]uint32, numNames)
 	for i := range fileToReg {
 		n, err := binary.ReadUvarint(br)
 		if err != nil || n > 1<<20 {
-			return set, rep, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: name %d length: %w", i, err))
+			return false, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: name %d length: %w", i, err))
 		}
 		nameBytes := make([]byte, n)
 		if _, err := io.ReadFull(br, nameBytes); err != nil {
-			return set, rep, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: name %d: %w", i, err))
+			return false, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: name %d: %w", i, err))
 		}
 		fileToReg[i] = reg.ID(string(nameBytes))
 	}
+	sink.nameTable(fileToReg)
 
 	numTraces, err := binary.ReadUvarint(br)
 	if err != nil {
-		return set, rep, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: trace count: %w", err))
+		return false, fail("?", resilience.TruncatedStream, fmt.Errorf("parlot: trace count: %w", err))
 	}
 	if numTraces > 1<<20 {
-		return set, rep, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: implausible trace count %d", numTraces))
+		return false, fail("?", resilience.CorruptStream, fmt.Errorf("parlot: implausible trace count %d", numTraces))
 	}
 	for t := uint64(0); t < numTraces && !failed; t++ {
 		recID := fmt.Sprintf("#%d", t) // until the header names the trace
 		if ctx != nil {
 			if cerr := ctx.Err(); cerr != nil {
-				return set, rep, fmt.Errorf("parlot: trace %d: read cancelled: %w", t, cerr)
+				return false, fmt.Errorf("parlot: trace %d: read cancelled: %w", t, cerr)
 			}
 		}
 		proc, err := binary.ReadUvarint(br)
 		if err != nil {
-			return set, rep, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d process: %w", t, err))
+			return false, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d process: %w", t, err))
 		}
 		thr, err := binary.ReadUvarint(br)
 		if err != nil {
-			return set, rep, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d thread: %w", t, err))
+			return false, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d thread: %w", t, err))
 		}
 		id := trace.TID(int(proc), int(thr))
 		recID = id.String()
 		trunc, err := br.ReadByte()
 		if err != nil {
-			return set, rep, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d flags: %w", t, err))
+			return false, fail(recID, resilience.TruncatedStream, fmt.Errorf("parlot: trace %d flags: %w", t, err))
 		}
 		clen, err := binary.ReadUvarint(br)
 		if err != nil || clen > 1<<30 {
-			return set, rep, fail(recID, resilience.CorruptStream, fmt.Errorf("parlot: trace %d stream length: %w", t, err))
+			return false, fail(recID, resilience.CorruptStream, fmt.Errorf("parlot: trace %d stream length: %w", t, err))
 		}
-		if opts.MaxTraces > 0 && set.Traces[id] == nil && len(set.Traces) >= opts.MaxTraces {
+		if opts.MaxTraces > 0 && !sink.has(id) && sink.count() >= opts.MaxTraces {
 			if !lenient {
-				return nil, rep, fmt.Errorf("parlot: trace %d (%s) exceeds MaxTraces=%d", t, id, opts.MaxTraces)
+				return true, fmt.Errorf("parlot: trace %d (%s) exceeds MaxTraces=%d", t, id, opts.MaxTraces)
 			}
 			rep.Quarantine(recID, resilience.TraceCap)
 			if _, err := io.CopyN(io.Discard, br, int64(clen)); err != nil {
@@ -259,61 +340,81 @@ func ReadSetBinaryContext(ctx context.Context, r io.Reader, reg *trace.Registry,
 		short := false
 		if n, err := io.ReadFull(br, comp); err != nil {
 			if !lenient {
-				return nil, rep, fmt.Errorf("parlot: trace %d stream: %w", t, err)
+				return true, fmt.Errorf("parlot: trace %d stream: %w", t, err)
 			}
 			// The file ends mid-stream: decode the prefix that arrived.
 			comp, short, failed = comp[:n], true, true
 			rep.Drop(recID, resilience.TruncatedStream, 1)
 		}
-		syms, err := NewDecoder(&sliceByteReader{b: comp}).DecodeAll()
-		if err != nil {
+		rec := sink.open(id)
+		rec.setTruncated(trunc != 0 || (lenient && short))
+		rec.block(comp)
+		// Decode symbol by symbol. kept buffers this record's keep count so
+		// a strict decompress failure reports no kept events for the record
+		// (matching the historical decode-then-append reader, which failed
+		// before appending anything).
+		dec := NewDecoder(&sliceByteReader{b: comp})
+		kept := 0
+		var decErr error
+		for si := 0; ; si++ {
+			if ctx != nil && si&0x1fff == 0x1fff {
+				if cerr := ctx.Err(); cerr != nil {
+					rep.Keep(kept)
+					return false, fmt.Errorf("parlot: trace %d (%s): read cancelled: %w", t, id, cerr)
+				}
+			}
+			s, err := dec.Decode()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				decErr = err
+				break
+			}
+			fileID := s >> 1
+			if int(fileID) >= len(fileToReg) {
+				if !lenient {
+					rep.Keep(kept)
+					return true, fmt.Errorf("parlot: trace %d references unknown name %d", t, fileID)
+				}
+				rep.Drop(recID, resilience.UnknownName, 1)
+				rec.mark()
+				continue
+			}
+			if opts.MaxEventsPerTrace > 0 && rec.len() >= opts.MaxEventsPerTrace {
+				if !lenient {
+					rep.Keep(kept)
+					return true, fmt.Errorf("parlot: trace %d (%s) exceeds MaxEventsPerTrace=%d", t, id, opts.MaxEventsPerTrace)
+				}
+				rep.Drop(recID, resilience.EventCap, 1)
+				rec.mark()
+				continue
+			}
+			rec.keep(fileToReg[fileID], trace.EventKind(s&1))
+			kept++
+		}
+		if decErr != nil {
 			if !lenient {
-				return nil, rep, fmt.Errorf("parlot: trace %d decompress: %w", t, err)
+				return true, fmt.Errorf("parlot: trace %d decompress: %w", t, decErr)
 			}
 			// Keep the symbols decoded before the corruption; the length
 			// framing lets the next trace decode normally.
 			if !short {
 				rep.Drop(recID, resilience.CorruptStream, 1)
 			}
+			rec.mark()
 		}
-		tr := set.Get(id)
-		tr.Truncated = trunc != 0 || (lenient && (short || err != nil))
-		for si, s := range syms {
-			if ctx != nil && si&0x1fff == 0x1fff {
-				if cerr := ctx.Err(); cerr != nil {
-					return set, rep, fmt.Errorf("parlot: trace %d (%s): read cancelled: %w", t, id, cerr)
-				}
-			}
-			fileID := s >> 1
-			if int(fileID) >= len(fileToReg) {
-				if !lenient {
-					return nil, rep, fmt.Errorf("parlot: trace %d references unknown name %d", t, fileID)
-				}
-				rep.Drop(recID, resilience.UnknownName, 1)
-				tr.Truncated = true
-				continue
-			}
-			if opts.MaxEventsPerTrace > 0 && tr.Len() >= opts.MaxEventsPerTrace {
-				if !lenient {
-					return nil, rep, fmt.Errorf("parlot: trace %d (%s) exceeds MaxEventsPerTrace=%d", t, id, opts.MaxEventsPerTrace)
-				}
-				rep.Drop(recID, resilience.EventCap, 1)
-				tr.Truncated = true
-				continue
-			}
-			tr.Append(fileToReg[fileID], trace.EventKind(s&1))
-			rep.Keep(1)
-		}
+		rep.Keep(kept)
 	}
 	// Backfill per-trace kept counts for the salvage records.
-	for _, rec := range rep.Records() {
-		if id, err := trace.ParseThreadID(rec.ID); err == nil {
-			if tr, ok := set.Traces[id]; ok {
-				rec.Kept = tr.Len()
+	for _, recd := range rep.Records() {
+		if id, err := trace.ParseThreadID(recd.ID); err == nil {
+			if n, ok := sink.kept(id); ok {
+				recd.Kept = n
 			}
 		}
 	}
-	return set, rep, nil
+	return false, nil
 }
 
 // countingReader counts bytes consumed from the underlying reader for the

@@ -125,6 +125,11 @@ type Config struct {
 	StoreDir string
 	// Workers is the per-job pipeline worker budget (0: GOMAXPROCS).
 	Workers int
+	// Streaming makes every PLOT1 job run the streaming pipeline by
+	// default (traces analyzed without expansion); requests can also opt
+	// in individually. Reports are byte-identical either way, so the mode
+	// does not split the artifact cache.
+	Streaming bool
 	// Concurrency is how many jobs run at once (0: DefaultConcurrency).
 	Concurrency int
 	// QueueDepth bounds queued-but-not-running jobs (0: default).
@@ -174,6 +179,10 @@ type DiffRequest struct {
 	Attr      string `json:"attr,omitempty"`      // default sing.noFreq
 	Linkage   string `json:"linkage,omitempty"`   // default ward
 	TimeoutMs int    `json:"timeout_ms,omitempty"` // caps at Config.JobTimeout
+	// Streaming opts this job into the streaming pipeline (PLOT1 inputs
+	// analyzed without expansion). Text inputs fall back to the
+	// materialized path; the report is byte-identical in every case.
+	Streaming bool `json:"streaming,omitempty"`
 }
 
 func (r *DiffRequest) defaults() {
@@ -376,6 +385,9 @@ func (s *Service) Submit(req DiffRequest) (JobView, error) {
 	nh, fh := store.Key(normalRaw), store.Key(faultyRaw)
 	// Workers deliberately excluded: the pipeline's output is
 	// schedule-independent, so worker count must not split the cache.
+	// Streaming is excluded on the same precedent — the differential
+	// battery proves the report bytes are mode-independent. (The stored
+	// manifest records whichever mode actually produced the artifacts.)
 	id := store.PairKey(nh, fh, req.Filter, req.Attr, req.Linkage)
 
 	// Cache hit: both artifacts already stored and intact — the job is
@@ -606,14 +618,35 @@ func (s *Service) pipeline(ctx context.Context, j *job) error {
 		}
 	}
 
+	// Streaming applies when requested (per job or service-wide) and both
+	// inputs are PLOT1 — text traces have no compressed representation to
+	// stream, so they quietly run the materialized path, which produces
+	// the same bytes anyway.
+	streaming := (j.req.Streaming || s.cfg.Streaming) && isPLOT1(normalRaw) && isPLOT1(faultyRaw)
+	run.SetConfig("stream", fmt.Sprintf("%t", streaming))
+
 	reg := trace.NewRegistry()
 	opts := trace.ReadOptions{Mode: trace.Lenient, Obs: run}
+	var (
+		normal, faulty   *trace.TraceSet
+		snormal, sfaulty *parlot.StreamSet
+		nrep, frep       *resilience.IngestReport
+		err              error
+	)
 	sp := run.StartSpan("ingest")
-	normal, nrep, err := readSetBytes(ctx, normalRaw, reg, opts)
+	if streaming {
+		snormal, nrep, err = parlot.ReadStreamSetContext(ctx, bytes.NewReader(normalRaw), reg, opts)
+	} else {
+		normal, nrep, err = readSetBytes(ctx, normalRaw, reg, opts)
+	}
 	if err != nil {
 		return fmt.Errorf("service: normal trace: %w", err)
 	}
-	faulty, frep, err := readSetBytes(ctx, faultyRaw, reg, opts)
+	if streaming {
+		sfaulty, frep, err = parlot.ReadStreamSetContext(ctx, bytes.NewReader(faultyRaw), reg, opts)
+	} else {
+		faulty, frep, err = readSetBytes(ctx, faultyRaw, reg, opts)
+	}
 	if err != nil {
 		return fmt.Errorf("service: faulty trace: %w", err)
 	}
@@ -634,10 +667,16 @@ func (s *Service) pipeline(ctx context.Context, j *job) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.DiffRunContext(ctx, normal, faulty, core.Config{
+	ccfg := core.Config{
 		Filter: flt, Attr: ac, Linkage: linkage,
 		Resilient: true, Workers: s.cfg.Workers, Obs: run,
-	})
+	}
+	var rep *core.Report
+	if streaming {
+		rep, err = core.DiffRunStreamContext(ctx, snormal, sfaulty, ccfg)
+	} else {
+		rep, err = core.DiffRunContext(ctx, normal, faulty, ccfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -673,6 +712,11 @@ func writeIngestSection(w *bytes.Buffer, reps ...*resilience.IngestReport) {
 		}
 		fmt.Fprint(w, "ingest "+rep.RenderTable())
 	}
+}
+
+// isPLOT1 reports whether raw carries the binary trace magic.
+func isPLOT1(raw []byte) bool {
+	return len(raw) >= 5 && string(raw[:5]) == "PLOT1"
 }
 
 // readSetBytes parses raw trace bytes in either format, sniffing the

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"difftrace/internal/parlot"
+	"difftrace/internal/trace"
+)
+
+// writeBinaryPair converts the checked-in ILCS fixture pair to PLOT1 —
+// the format the streaming path consumes.
+func writeBinaryPair(t *testing.T, dir string) (normal, faulty string) {
+	t.Helper()
+	textNormal, textFaulty := fixturePair(t)
+	conv := func(src, name string) string {
+		f, err := os.Open(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		set, err := trace.ReadSetText(f, trace.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := parlot.WriteSetBinary(&buf, set); err != nil {
+			t.Fatal(err)
+		}
+		dst := filepath.Join(dir, name)
+		if err := os.WriteFile(dst, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dst
+	}
+	return conv(textNormal, "normal.bin"), conv(textFaulty, "faulty.bin")
+}
+
+// TestServiceStreamingDeterminismMatchesBatch: a Streaming service's
+// report for a PLOT1 pair is byte-identical to a batch service's report
+// for the same pair (at different worker counts, to cover the schedule
+// axis too), the manifests are mode-marked, and a streaming resubmission
+// against the batch service's store is a cache hit — the mode does not
+// split the pair key.
+func TestServiceStreamingDeterminismMatchesBatch(t *testing.T) {
+	dir := t.TempDir()
+	normal, faulty := writeBinaryPair(t, dir)
+	req := DiffRequest{Normal: normal, Faulty: faulty}
+
+	runOn := func(svc *Service, req DiffRequest) (JobView, []byte, []byte) {
+		v, err := svc.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v = waitState(t, svc, v.ID)
+		if v.State != StateDone {
+			t.Fatalf("job failed: %s", v.Error)
+		}
+		report, manifest, ok := svc.Artifacts(v.ID)
+		if !ok {
+			t.Fatal("artifacts missing")
+		}
+		return v, report, manifest
+	}
+
+	batchSvc := newTestService(t, Config{Workers: 1})
+	_, batchReport, batchManifest := runOn(batchSvc, req)
+
+	streamSvc := newTestService(t, Config{Workers: 8, Streaming: true})
+	_, streamReport, streamManifest := runOn(streamSvc, req)
+
+	if !bytes.Equal(batchReport, streamReport) {
+		t.Errorf("streaming report differs from batch:\n--- batch ---\n%s\n--- stream ---\n%s", batchReport, streamReport)
+	}
+	if len(batchReport) == 0 {
+		t.Fatal("empty report")
+	}
+	// Manifests carry the mode honestly.
+	if !strings.Contains(string(streamManifest), "core.streaming") {
+		t.Error("streaming manifest missing core.streaming marker")
+	}
+	if strings.Contains(string(batchManifest), "core.streaming") {
+		t.Error("batch manifest unexpectedly carries the streaming marker")
+	}
+
+	// Per-request opt-in resolves to the same pair key: the batch
+	// service's cached artifacts satisfy a streaming submission.
+	cached, err := batchSvc.Submit(DiffRequest{Normal: normal, Faulty: faulty, Streaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached {
+		t.Error("streaming resubmission did not hit the batch cache")
+	}
+}
+
+// TestServiceStreamingTextFallbackDeterminism: a Streaming service handed
+// text traces silently runs the materialized path and produces the exact
+// bytes a batch service does.
+func TestServiceStreamingTextFallbackDeterminism(t *testing.T) {
+	normal, faulty := fixturePair(t)
+	req := DiffRequest{Normal: normal, Faulty: faulty, Streaming: true}
+
+	streamSvc := newTestService(t, Config{Workers: 2, Streaming: true})
+	v, err := streamSvc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitState(t, streamSvc, v.ID)
+	if v.State != StateDone {
+		t.Fatalf("job failed: %s", v.Error)
+	}
+	streamReport, streamManifest, ok := streamSvc.Artifacts(v.ID)
+	if !ok {
+		t.Fatal("artifacts missing")
+	}
+	if strings.Contains(string(streamManifest), "core.streaming") {
+		t.Error("text fallback manifest claims the streaming mode ran")
+	}
+
+	batchSvc := newTestService(t, Config{Workers: 2})
+	w, err := batchSvc.Submit(DiffRequest{Normal: normal, Faulty: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = waitState(t, batchSvc, w.ID)
+	if w.State != StateDone {
+		t.Fatalf("batch job failed: %s", w.Error)
+	}
+	batchReport, _, ok := batchSvc.Artifacts(w.ID)
+	if !ok {
+		t.Fatal("batch artifacts missing")
+	}
+	if !bytes.Equal(batchReport, streamReport) {
+		t.Errorf("text-fallback report differs from batch:\n--- batch ---\n%s\n--- fallback ---\n%s", batchReport, streamReport)
+	}
+}

@@ -458,6 +458,22 @@ func ObserveIngest(r *obs.Run, bytes, lines int64, rep *resilience.IngestReport,
 	if r == nil {
 		return
 	}
+	sizes := make([]int64, 0, len(s.Traces))
+	for _, id := range s.IDs() {
+		sizes = append(sizes, int64(s.Traces[id].Len()))
+	}
+	ObserveIngestSizes(r, bytes, lines, rep, sizes)
+}
+
+// ObserveIngestSizes is ObserveIngest for readers that never materialize a
+// TraceSet: sizes carries the per-trace kept-event counts in canonical ID
+// order. Both entry points fold identical totals into the run, so a
+// streaming ingest of the same bytes produces the same counters and
+// histogram as a materializing one.
+func ObserveIngestSizes(r *obs.Run, bytes, lines int64, rep *resilience.IngestReport, sizes []int64) {
+	if r == nil {
+		return
+	}
 	r.Counter("ingest.bytes").Add(bytes)
 	r.Counter("ingest.lines").Add(lines)
 	r.Counter("ingest.events").Add(int64(rep.EventsKept))
@@ -465,8 +481,8 @@ func ObserveIngest(r *obs.Run, bytes, lines int64, rep *resilience.IngestReport,
 	r.Counter("ingest.synthesized").Add(int64(rep.EventsSynthesized))
 	r.Counter("ingest.quarantined_traces").Add(int64(rep.Quarantined()))
 	h := r.Histogram("ingest.trace_events")
-	for _, id := range s.IDs() {
-		h.Observe(int64(s.Traces[id].Len()))
+	for _, n := range sizes {
+		h.Observe(n)
 	}
 }
 
