@@ -3,7 +3,7 @@
 # corrupt-input fuzz seed corpora.
 GO ?= go
 
-.PHONY: all build vet lint test race determinism bench bench-fca bench-streaming memceiling profile fuzz-seeds fuzz check
+.PHONY: all build vet lint test race determinism bench bench-fca bench-obs bench-streaming memceiling profile fuzz-seeds fuzz check
 
 all: build
 
@@ -90,6 +90,17 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadSetBinary -fuzztime=30s ./internal/parlot
 	$(GO) test -fuzz=FuzzStreamReader -fuzztime=30s ./internal/parlot
 	$(GO) test -fuzz=FuzzStreamSummarize -fuzztime=30s ./internal/nlr
+
+# Telemetry overhead benchmark: the fully-instrumented job path (obs.Run,
+# trace ID, live Progress, heap sampler, JSON logger) vs the telemetry-nil
+# pipeline on the BenchmarkParallel_DiffRun workload; regenerates the
+# BENCH_obs.json baseline. The acceptance bar is telemetry=on within 3% of
+# telemetry=nil wall time (use -benchtime=10x for a stable ratio; 3x is
+# the quick CI-sized run).
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead_' \
+		-benchmem -benchtime=5x -timeout 1200s . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -out BENCH_obs.json $(BENCHJSON_FLAGS)
 
 # Streaming-vs-batch benchmark on the same PLOT1 bytes; regenerates the
 # BENCH_streaming.json baseline. The headline numbers are peak-heap-MiB

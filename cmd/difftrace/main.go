@@ -36,6 +36,7 @@ import (
 	"difftrace/internal/core"
 	"difftrace/internal/filter"
 	"difftrace/internal/obs"
+	"difftrace/internal/obs/olog"
 	"difftrace/internal/parlot"
 	"difftrace/internal/progress"
 	"difftrace/internal/rank"
@@ -81,6 +82,13 @@ type options struct {
 	// ingest report still prints under -ingest-report so the operator
 	// sees how far the read got.
 	timeout time.Duration
+	// logJSON emits structured JSON log lines (start/finish, trace ID,
+	// config) to errW — the same line shape difftraced writes, so one
+	// pipeline can consume logs from both.
+	logJSON bool
+	// traceID overrides the minted request trace ID, letting a caller
+	// correlate a CLI run with its own wider trace. Empty mints one.
+	traceID string
 	// errW receives the -metrics summary and pprof notices; nil means
 	// os.Stderr (tests substitute a buffer).
 	errW io.Writer
@@ -109,6 +117,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a human-readable metrics summary to stderr after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (exit code 3; -ingest-report still prints the partial read)")
+	logJSON := flag.Bool("log-json", false, "emit structured JSON log lines (with the run's trace ID) to stderr")
+	traceID := flag.String("trace-id", "", "use this request trace ID instead of minting one (correlates the run with a wider trace)")
 	flag.Parse()
 
 	if *normalPath == "" || *faultyPath == "" {
@@ -123,7 +133,7 @@ func main() {
 		report: *report, triage: *triage,
 		stream: *stream, lenient: *lenient, ingestReport: *ingestReport, workers: *workers,
 		manifestPath: *manifest, metrics: *metrics, pprofAddr: *pprofAddr,
-		timeout: *timeout,
+		timeout: *timeout, logJSON: *logJSON, traceID: *traceID,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "difftrace:", err)
@@ -172,11 +182,38 @@ func run(w io.Writer, o options) error {
 		ctx, cancel = context.WithTimeout(context.Background(), o.timeout)
 		defer cancel()
 	}
+	// Every run carries a request trace ID — caller-supplied or minted —
+	// so a CLI invocation correlates with wider traces and its own JSON
+	// log lines. The ID is stamped on the manifest but scrubbed from any
+	// artifact meant to be deterministic.
+	tid := obs.TraceID(o.traceID)
+	if tid.IsZero() {
+		tid = obs.NewTraceID()
+	}
+	if ctx != nil {
+		ctx = obs.WithTraceID(ctx, tid)
+	}
+	var logger *olog.Logger
+	if o.logJSON {
+		logger = olog.New(errW, olog.Info).With(
+			olog.Str("component", "difftrace"),
+			olog.Str("trace_id", string(tid)))
+	}
+	logger.Info("run starting",
+		olog.Str("normal", o.normalPath),
+		olog.Str("faulty", o.faultyPath),
+		olog.Str("filter", o.filterSpec),
+		olog.Str("attr", o.attrSpec),
+		olog.Str("linkage", o.linkageName),
+		olog.Bool("stream", o.stream),
+		olog.Bool("lenient", o.lenient),
+		olog.Int("workers", o.workers))
 	// The obs run exists only when some output will consume it; a nil run
 	// keeps every instrumented layer on its zero-cost fast path.
 	var obsRun *obs.Run
 	if o.manifestPath != "" || o.metrics {
 		obsRun = obs.NewRun("difftrace")
+		obsRun.SetTraceID(tid)
 		obsRun.SetConfig("normal", o.normalPath)
 		obsRun.SetConfig("faulty", o.faultyPath)
 		obsRun.SetConfig("filter", o.filterSpec)
@@ -201,6 +238,7 @@ func run(w io.Writer, o options) error {
 	// Manifest/metrics emission runs on every exit path — a strict read
 	// failure or degraded analysis still leaves its observability record
 	// (the readers count bytes/lines even on the error path).
+	defer logger.Info("run finished")
 	defer func() {
 		if obsRun == nil {
 			return

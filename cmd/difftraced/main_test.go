@@ -5,14 +5,18 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"difftrace/internal/obs/telemetry"
 )
 
 // The e2e tests re-exec this test binary as the daemon: TestMain
@@ -27,11 +31,31 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
+// logBuf is a race-safe stderr capture: exec's copier goroutine writes
+// into it while a live daemon runs, and the telemetry e2e reads it back
+// before the process exits.
+type logBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
 // daemon is one spawned difftraced process under test.
 type daemon struct {
 	cmd  *exec.Cmd
 	base string // http://host:port
-	out  *bytes.Buffer
+	out  *logBuf
 }
 
 // startDaemon boots a difftraced on an ephemeral port and waits for its
@@ -49,7 +73,7 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 	if err != nil {
 		t.Fatal(err)
 	}
-	errBuf := &bytes.Buffer{}
+	errBuf := &logBuf{}
 	cmd.Stderr = errBuf
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
@@ -103,11 +127,19 @@ func (d *daemon) sigterm(t *testing.T) {
 
 type jobResp struct {
 	ID       string          `json:"id"`
+	TraceID  string          `json:"trace_id"`
 	State    string          `json:"state"`
 	Cached   bool            `json:"cached"`
 	Error    string          `json:"error"`
 	Report   string          `json:"report"`
 	Manifest json.RawMessage `json:"manifest"`
+	Progress *struct {
+		Stage         string  `json:"stage"`
+		Events        int64   `json:"events"`
+		EventsPerSec  float64 `json:"events_per_sec"`
+		RunMs         int64   `json:"run_ms"`
+		PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	} `json:"progress"`
 }
 
 func (d *daemon) postDiff(t *testing.T, normal, faulty string) (int, jobResp) {
@@ -194,8 +226,9 @@ func TestDaemonSigtermMidJobRecoversOnRestart(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	a.sigterm(t)
-	if !strings.Contains(a.out.String(), "persisted 1 unfinished job") {
-		t.Fatalf("daemon did not persist the interrupted job; stderr:\n%s", a.out.String())
+	logOut := a.out.String()
+	if !strings.Contains(logOut, `"msg":"unfinished jobs persisted to queue.json"`) || !strings.Contains(logOut, `"jobs":1`) {
+		t.Fatalf("daemon did not persist the interrupted job; stderr:\n%s", logOut)
 	}
 	if _, err := os.Stat(filepath.Join(storeDir, "queue.json")); err != nil {
 		t.Fatalf("queue.json missing after SIGTERM: %v", err)
@@ -243,6 +276,144 @@ func TestDaemonSigtermMidJobRecoversOnRestart(t *testing.T) {
 		t.Error("recovered manifest differs from cold Workers:1 manifest")
 	}
 	c.sigterm(t)
+}
+
+// TestDaemonTelemetryE2E is the observability acceptance gate, run against
+// a real re-exec'd difftraced: submit a job, watch its live progress and
+// trace ID through GET /v1/jobs/{id} while it runs, scrape /metrics
+// mid-run and validate the exposition, find the job in /debug/flight after
+// it completes, grep its trace ID out of the daemon's JSON log stream, and
+// finally confirm the SIGTERM drain dumps the flight ring to the store.
+func TestDaemonTelemetryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process e2e")
+	}
+	normal, faulty := fixturePaths(t)
+	storeDir := t.TempDir()
+	// The hold keeps the job observably mid-run long enough for the live
+	// progress poll and the mid-run scrape.
+	d := startDaemon(t, "-store", storeDir, "-hold-job", "2s", "-log-level", "debug")
+
+	code, jr := d.postDiff(t, normal, faulty)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d, want 202", code)
+	}
+	if jr.TraceID == "" {
+		t.Fatal("admitted job has no trace ID")
+	}
+	tid := jr.TraceID
+
+	// Live view: poll until the job is running, then assert the telemetry
+	// surface a mid-run GET exposes.
+	var live jobResp
+	claimDeadline := time.Now().Add(10 * time.Second)
+	for {
+		_, live = d.getJob(t, jr.ID)
+		if live.State == "running" {
+			break
+		}
+		if time.Now().After(claimDeadline) {
+			t.Fatalf("job never claimed: %+v", live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if live.TraceID != tid {
+		t.Fatalf("running view trace ID %q != admitted %q", live.TraceID, tid)
+	}
+	if live.Progress == nil {
+		t.Fatal("running job view has no progress")
+	}
+	if live.Progress.RunMs < 0 {
+		t.Fatalf("running progress: %+v", live.Progress)
+	}
+
+	// Mid-run scrape: the default /metrics format must be clean Prometheus
+	// exposition text and reflect the in-flight job.
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d, %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if err := telemetry.ValidateText(bytes.NewReader(promBody)); err != nil {
+		t.Fatalf("mid-run /metrics fails exposition validation: %v\n%s", err, promBody)
+	}
+	for _, want := range []string{
+		"difftrace_service_admitted_total 1",
+		"difftrace_service_jobs_running 1",
+	} {
+		if !strings.Contains(string(promBody), want) {
+			t.Errorf("mid-run /metrics missing %q:\n%s", want, promBody)
+		}
+	}
+
+	done := d.waitDone(t, jr.ID)
+	if done.State != "done" {
+		t.Fatalf("job failed: %s", done.Error)
+	}
+
+	// Flight recorder: the completed job is in the ring with its trace ID
+	// and final counters.
+	fresp, err := http.Get(d.base + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flight struct {
+		Records []struct {
+			TraceID string `json:"trace_id"`
+			JobID   string `json:"job_id"`
+			Outcome string `json:"outcome"`
+			Events  int64  `json:"events"`
+			RunMs   int64  `json:"run_ms"`
+		} `json:"records"`
+	}
+	ferr := json.NewDecoder(fresp.Body).Decode(&flight)
+	fresp.Body.Close()
+	if ferr != nil || fresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight = %d, %v", fresp.StatusCode, ferr)
+	}
+	found := false
+	for _, rec := range flight.Records {
+		if rec.JobID == jr.ID {
+			found = true
+			if rec.TraceID != tid || rec.Outcome != "done" {
+				t.Fatalf("flight record wrong: %+v", rec)
+			}
+			if rec.Events <= 0 {
+				t.Fatalf("flight record has no event count: %+v", rec)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("job %s absent from flight ring: %+v", jr.ID, flight.Records)
+	}
+
+	// The trace ID threads the whole JSON log stream: admission, attempt,
+	// completion.
+	logOut := d.out.String()
+	if n := strings.Count(logOut, tid); n < 2 {
+		t.Fatalf("trace ID %s appears %d times in daemon logs, want >= 2:\n%s", tid, n, logOut)
+	}
+	for _, want := range []string{`"msg":"job admitted"`, `"msg":"job done"`} {
+		if !strings.Contains(logOut, want) {
+			t.Errorf("daemon logs missing %s:\n%s", want, logOut)
+		}
+	}
+
+	// Drain dumps the flight ring beside the store objects.
+	d.sigterm(t)
+	if _, err := os.Stat(filepath.Join(storeDir, "flight.sidecar")); err != nil {
+		t.Fatalf("flight sidecar missing after drain: %v", err)
+	}
+	if !strings.Contains(d.out.String(), `"msg":"drain complete"`) {
+		t.Fatalf("drain completion not logged:\n%s", d.out.String())
+	}
 }
 
 // TestDaemonHealthzAndMetrics smoke-tests the operational endpoints of a

@@ -288,6 +288,7 @@ func DiffRunStreamContext(ctx context.Context, normal, faulty *parlot.StreamSet,
 // equivalence structural rather than coincidental.
 func diffRun(ctx context.Context, cfg Config, rep *Report, table *nlr.Table, levels []*levelRun) (*Report, error) {
 	run := cfg.Obs
+	prog := obs.ProgressFrom(ctx)
 	if cfg.Streaming {
 		// Mode marker for manifests; constant, so manifests stay
 		// byte-identical across worker counts within the mode.
@@ -312,6 +313,7 @@ func diffRun(ctx context.Context, cfg Config, rep *Report, table *nlr.Table, lev
 
 	// Phase 1: NLR over every (level, side, object) of the live levels,
 	// in parallel, against a shared deterministic loop table.
+	prog.SetStage("summarize")
 	spSum := run.StartSpan("summarize")
 	if err := summarizeAll(ctx, levels, cfg, table); err != nil {
 		return nil, err
@@ -321,6 +323,7 @@ func diffRun(ctx context.Context, cfg Config, rep *Report, table *nlr.Table, lev
 
 	// Phase 2: per-level attribute extraction + analysis; the two levels
 	// run concurrently with a divided worker budget.
+	prog.SetStage("analyze")
 	spAn := run.StartSpan("analyze")
 	w := cfg.workers()
 	levelW := pool.Divide(w, len(levels))
@@ -394,9 +397,22 @@ func (rep *Report) observe(run *obs.Run, levels []*levelRun) {
 	}
 	seqLen := run.Histogram("nlr.seq_len")
 	for _, lv := range levels {
-		objects := run.Counter("core." + lv.key + ".objects")
-		failed := run.Counter("core." + lv.key + ".failed")
-		attrsC := run.Counter("core." + lv.key + ".attrs")
+		// Metric names are compile-time literals per level key (the
+		// obsdiscipline check forbids runtime-built names, which cap
+		// cardinality at what the source declares).
+		var objects, failed, attrsC, jsmCells *obs.Counter
+		switch lv.key {
+		case "threads":
+			objects = run.Counter("core.threads.objects")
+			failed = run.Counter("core.threads.failed")
+			attrsC = run.Counter("core.threads.attrs")
+			jsmCells = run.Counter("core.threads.jsm_cells")
+		case "processes":
+			objects = run.Counter("core.processes.objects")
+			failed = run.Counter("core.processes.failed")
+			attrsC = run.Counter("core.processes.attrs")
+			jsmCells = run.Counter("core.processes.jsm_cells")
+		}
 		for _, s := range lv.sides {
 			for i := range s.objs {
 				objects.Add(1)
@@ -410,7 +426,7 @@ func (rep *Report) observe(run *obs.Run, levels []*levelRun) {
 		}
 		if lv.level != nil && lv.level.JSMD != nil {
 			n := len(lv.level.JSMD.Names)
-			run.Counter("core." + lv.key + ".jsm_cells").Add(int64(n * (n - 1) / 2))
+			jsmCells.Add(int64(n * (n - 1) / 2))
 		}
 	}
 	for _, e := range rep.Degraded {
@@ -713,11 +729,28 @@ type object struct {
 // stay cancellable mid-object. An early bail implies ctx.Err() != nil,
 // which the pipeline's stage-boundary checks turn into a run abort — a
 // partially walked object can never reach a successful report.
+//
+// The same stride feeds the job's live Progress (when the ctx carries one):
+// the decoded-event count is flushed once per 8192 events plus once at the
+// end, so a scrape of GET /v1/jobs/{id} sees the tokenizer advance at one
+// atomic add per batch, not per event.
 func (o object) forEachEvent(ctx context.Context, yield func(name string, kind trace.EventKind)) {
+	prog := obs.ProgressFrom(ctx)
 	n := 0
+	flushed := 0
+	defer func() {
+		if n > flushed {
+			prog.AddEvents(int64(n - flushed))
+		}
+	}()
 	alive := func() bool {
 		n++
-		return ctx == nil || n&0x1fff != 0 || ctx.Err() == nil
+		if n&0x1fff != 0 {
+			return true
+		}
+		prog.AddEvents(int64(n - flushed))
+		flushed = n
+		return ctx == nil || ctx.Err() == nil
 	}
 	if o.sts == nil {
 		for _, e := range o.tr.Events {

@@ -11,6 +11,7 @@ import (
 	"difftrace/internal/lint/checks/maprange"
 	"difftrace/internal/lint/checks/nakedgoroutine"
 	"difftrace/internal/lint/checks/nilreceiver"
+	"difftrace/internal/lint/checks/obsdiscipline"
 	"difftrace/internal/lint/checks/panicdiscipline"
 	"difftrace/internal/lint/checks/wallclock"
 )
@@ -24,6 +25,7 @@ func All() []*lint.Check {
 		maprange.Check,
 		nakedgoroutine.Check,
 		nilreceiver.Check,
+		obsdiscipline.Check,
 		panicdiscipline.Check,
 		wallclock.Check,
 	}

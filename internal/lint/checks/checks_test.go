@@ -14,6 +14,7 @@ import (
 	"difftrace/internal/lint/checks/maprange"
 	"difftrace/internal/lint/checks/nakedgoroutine"
 	"difftrace/internal/lint/checks/nilreceiver"
+	"difftrace/internal/lint/checks/obsdiscipline"
 	"difftrace/internal/lint/checks/panicdiscipline"
 	"difftrace/internal/lint/checks/wallclock"
 	"difftrace/internal/lint/linttest"
@@ -30,6 +31,7 @@ func TestWallclock(t *testing.T)       { linttest.Run(t, wallclock.Check, fixtur
 func TestNakedgoroutine(t *testing.T)  { linttest.Run(t, nakedgoroutine.Check, fixture("nakedgoroutine")) }
 func TestPanicdiscipline(t *testing.T) { linttest.Run(t, panicdiscipline.Check, fixture("panicdiscipline")) }
 func TestNilreceiver(t *testing.T)     { linttest.Run(t, nilreceiver.Check, fixture("nilreceiver")) }
+func TestObsdiscipline(t *testing.T)   { linttest.Run(t, obsdiscipline.Check, fixture("obsdiscipline")) }
 func TestErrwrap(t *testing.T)         { linttest.Run(t, errwrap.Check, fixture("errwrap")) }
 func TestCtxdiscipline(t *testing.T)   { linttest.Run(t, ctxdiscipline.Check, fixture("ctxdiscipline")) }
 func TestExpanddiscipline(t *testing.T) {
@@ -66,10 +68,10 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
-// TestRegistryNames pins the registry: eight invariants, stable names,
+// TestRegistryNames pins the registry: nine invariants, stable names,
 // every check documented.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"ctxdiscipline", "errwrap", "expanddiscipline", "maprange", "nakedgoroutine", "nilreceiver", "panicdiscipline", "wallclock"}
+	want := []string{"ctxdiscipline", "errwrap", "expanddiscipline", "maprange", "nakedgoroutine", "nilreceiver", "obsdiscipline", "panicdiscipline", "wallclock"}
 	all := checks.All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d checks, want %d", len(all), len(want))

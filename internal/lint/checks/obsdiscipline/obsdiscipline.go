@@ -1,0 +1,93 @@
+// Package obsdiscipline proves the metric-name contract behind the
+// Prometheus exposition: every name handed to obs.Run's Counter/Gauge/
+// Histogram is a compile-time constant of the package-prefixed dotted form
+// ("service.jobs_done", "core.threads.objects"). Runtime-assembled names
+// fragment metric families across scrapes, defeat the HELP catalog, and
+// make a name ungreppable — the /metrics surface is only as stable as the
+// literals feeding it. A name the type checker cannot evaluate is a
+// violation even if every runtime value happens to be well-formed.
+package obsdiscipline
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"difftrace/internal/lint"
+)
+
+// Check is the registered obsdiscipline analyzer.
+var Check = &lint.Check{
+	Name: "obsdiscipline",
+	Doc:  "obs.Run metric names are constant package-prefixed dotted literals (\"pkg.metric\"), never assembled at runtime",
+	Run:  run,
+}
+
+// obsPath is the import path owning the instrumented registry.
+const obsPath = "difftrace/internal/obs"
+
+// registryMethods are the Run methods that intern a metric by name.
+var registryMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// nameRe is the canonical metric shape: a lowercase package prefix, at
+// least one dot, snake_case segments. It is intentionally the exact set of
+// names the Prometheus sanitizer maps 1:1 onto [a-z0-9_] families.
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+func run(p *lint.Pass) {
+	p.InspectFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := p.Pkg.Info.Selections[sel]
+		if selection == nil {
+			return true // package-qualified call, not a method
+		}
+		fn, ok := selection.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath || !registryMethods[fn.Name()] {
+			return true
+		}
+		if !isRunReceiver(fn) || len(call.Args) < 1 {
+			return true
+		}
+		arg := call.Args[0]
+		tv := p.Pkg.Info.Types[arg]
+		if tv.Value == nil || tv.Value.Kind() != constant.String {
+			p.Reportf(arg.Pos(),
+				"obs.Run.%s name is not a compile-time constant — runtime-built names fragment the /metrics families; intern a dotted literal per variant",
+				fn.Name())
+			return true
+		}
+		if name := constant.StringVal(tv.Value); !nameRe.MatchString(name) {
+			p.Reportf(arg.Pos(),
+				"obs.Run.%s name %q is not package-prefixed dotted snake_case (want e.g. \"core.threads.objects\")",
+				fn.Name(), name)
+		}
+		return true
+	})
+}
+
+// isRunReceiver reports whether fn's receiver is obs.Run (by value or
+// pointer), so future obs types with same-named methods stay out of scope.
+func isRunReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Run" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == obsPath
+}

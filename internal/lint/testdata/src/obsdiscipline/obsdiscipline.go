@@ -1,0 +1,38 @@
+// Fixture for the obsdiscipline check: obs.Run metric names must be
+// constant package-prefixed dotted literals. Literals and named constants
+// pass; runtime concatenation, plain variables, and malformed constants
+// are caught; a justified //lint:allow escapes.
+package obsdiscipline
+
+import "difftrace/internal/obs"
+
+const goodName = "fixture.events_kept"
+
+// register exercises every calling shape against one run handle.
+func register(r *obs.Run, key string) {
+	r.Counter("fixture.objects").Add(1)          // literal: ok
+	r.Gauge(goodName).Set(2)                     // named constant: ok
+	r.Histogram("fixture.latency_ms").Observe(3) // literal: ok
+	r.Counter("fixture." + "failed").Add(1)      // constant folding: ok
+
+	r.Counter("fixture." + key + ".objects").Add(1) // want `not a compile-time constant`
+	r.Gauge(key).Set(4)                             // want `not a compile-time constant`
+	r.Histogram("latency").Observe(5)               // want `not package-prefixed dotted snake_case`
+	r.Counter("Fixture.objects").Add(6)             // want `not package-prefixed dotted snake_case`
+	r.Gauge("fixture.heap-bytes").Set(7)            // want `not package-prefixed dotted snake_case`
+
+	//lint:allow obsdiscipline this fixture demonstrates the sanctioned escape for a genuinely dynamic name
+	r.Counter("fixture." + key).Add(8)
+}
+
+// lookalike has the same method names on a local type; the check must not
+// fire on them (receiver resolution is by type, not by spelling).
+type lookalike struct{}
+
+func (lookalike) Counter(name string) lookalike { return lookalike{} }
+func (l lookalike) Add(n int64)                 {}
+
+func localType(key string) {
+	var l lookalike
+	l.Counter("whatever " + key).Add(9)
+}

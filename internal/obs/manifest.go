@@ -18,6 +18,7 @@ import (
 // in the fields Scrub zeroes (timings, worker counts, host info).
 type Manifest struct {
 	Tool       string                       `json:"tool"`
+	TraceID    string                       `json:"trace_id,omitempty"`
 	Host       *Host                        `json:"host,omitempty"`
 	WallNs     int64                        `json:"wall_ns"`
 	Config     map[string]string            `json:"config,omitempty"`
@@ -91,6 +92,7 @@ func (r *Run) Manifest() *Manifest {
 	}
 
 	r.mu.Lock()
+	m.TraceID = string(r.traceID)
 	if len(r.config) > 0 {
 		m.Config = make(map[string]string, len(r.config))
 		for k, v := range r.config {
@@ -175,14 +177,17 @@ func (m *Manifest) WriteJSON(w io.Writer) error {
 // Scrub zeroes every manifest field whose value legitimately varies between
 // runs of the same input: wall times, pool busy/idle/utilization, worker
 // counts (including "workers"-suffixed config knobs and gauges, and any
-// "_ns"-suffixed metric), and host info. What remains is a pure function of
-// the input, so golden tests can assert byte-identical scrubbed manifests
-// across worker counts and reruns.
+// "_ns"-suffixed metric), host info, and the request-scoped trace ID (which
+// is random by design — a stored artifact is shared by every request that
+// submits the same bytes, so it must not remember which request built it).
+// What remains is a pure function of the input, so golden tests can assert
+// byte-identical scrubbed manifests across worker counts and reruns.
 func Scrub(m *Manifest) {
 	if m == nil {
 		return
 	}
 	m.WallNs = 0
+	m.TraceID = ""
 	m.Host = nil
 	for i := range m.Stages {
 		m.Stages[i].WallNs = 0
@@ -261,6 +266,19 @@ func (r *Run) WriteSummary(w io.Writer) {
 		fmt.Fprintln(w, "gauges:")
 		for _, k := range keys {
 			fmt.Fprintf(w, "  %-36s %d\n", k, m.Gauges[k])
+		}
+	}
+	if len(m.Histograms) > 0 {
+		keys := make([]string, 0, len(m.Histograms))
+		for k := range m.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "histograms:")
+		for _, k := range keys {
+			h := m.Histograms[k]
+			fmt.Fprintf(w, "  %-36s n=%-8d p50=%-10.1f p95=%-10.1f p99=%.1f\n",
+				k, h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 		}
 	}
 	for _, in := range m.Ingest {

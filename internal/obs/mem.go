@@ -17,15 +17,23 @@ import (
 // shorter than the interval; callers bound that error by choosing the
 // interval and by a final synchronous sample at Stop.
 type HeapSampler struct {
-	stop chan struct{}
-	done chan struct{}
-	peak atomic.Uint64
+	stop     chan struct{}
+	done     chan struct{}
+	peak     atomic.Uint64
+	progress *Progress // optional mirror; nil is off
 }
 
 // StartHeapSampler begins sampling every interval until Stop. It takes an
 // immediate first sample so even a panicking caller has a floor reading.
 func StartHeapSampler(interval time.Duration) *HeapSampler {
-	s := &HeapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	return StartHeapSamplerInto(interval, nil)
+}
+
+// StartHeapSamplerInto is StartHeapSampler with each new peak mirrored into
+// the job's live Progress, so GET /v1/jobs/{id} can show peak heap while
+// the job still runs. A nil progress degrades to plain sampling.
+func StartHeapSamplerInto(interval time.Duration, p *Progress) *HeapSampler {
+	s := &HeapSampler{stop: make(chan struct{}), done: make(chan struct{}), progress: p}
 	s.sample()
 	//lint:allow nakedgoroutine sampler must run outside the Workers budget to observe the pipeline's heap from the side; it is joined by Stop via s.done and bounded by the stop channel
 	go func() {
@@ -51,9 +59,10 @@ func (s *HeapSampler) sample() {
 	for {
 		cur := s.peak.Load()
 		if ms.HeapAlloc <= cur || s.peak.CompareAndSwap(cur, ms.HeapAlloc) {
-			return
+			break
 		}
 	}
+	s.progress.SetHeapPeak(s.peak.Load())
 }
 
 // Peak returns the highest HeapAlloc observed so far, in bytes.

@@ -41,6 +41,7 @@ type Run struct {
 	start time.Time
 
 	mu       sync.Mutex
+	traceID  TraceID
 	config   map[string]string
 	spans    map[string]*spanStat
 	pools    map[string]*PoolSite

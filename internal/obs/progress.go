@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is live, schedule-varying visibility into one in-flight job: how
+// many events the tokenizer has decoded, which stage is running, and the
+// peak heap the sampler has seen. It is the one obs surface that is *meant*
+// to be read while the pipeline runs (GET /v1/jobs/{id}), so every field is
+// a single atomic — readers never block workers.
+//
+// Like the rest of obs, nil is off: a nil *Progress accepts every call for
+// free, so instrumented code (core's tokenizer, pool's dispatch) needs no
+// guards and a CLI run without a service pays nothing.
+//
+// Progress is pure telemetry. Nothing in it feeds back into the pipeline,
+// and none of it reaches a scrubbed manifest, so the determinism battery is
+// blind to it by construction.
+type Progress struct {
+	created   time.Time
+	startedNs atomic.Int64 // wall nanos at MarkStarted; 0 = still queued
+	events    atomic.Int64
+	heapPeak  atomic.Uint64
+	stage     atomic.Value // string
+}
+
+// NewProgress creates a progress tracker; the queued clock starts now.
+func NewProgress() *Progress {
+	return &Progress{created: time.Now()}
+}
+
+// MarkStarted records the moment the job left the queue and began running.
+// Later calls win (a drain can revert a job to queued and re-run it), which
+// keeps RunMs meaning "time in the current attempt span".
+func (p *Progress) MarkStarted() {
+	if p == nil {
+		return
+	}
+	p.startedNs.Store(time.Now().UnixNano())
+}
+
+// AddEvents folds n decoded events in. Hot-path callers batch (the core
+// tokenizer flushes every few thousand events) so this stays one atomic add
+// per batch, not per event.
+func (p *Progress) AddEvents(n int64) {
+	if p == nil {
+		return
+	}
+	p.events.Add(n)
+}
+
+// SetStage records the stage path currently executing. Last write wins;
+// that is the point — it is a live cursor, not a metric.
+func (p *Progress) SetStage(stage string) {
+	if p == nil {
+		return
+	}
+	p.stage.Store(stage)
+}
+
+// SetHeapPeak folds a heap sample in, keeping the maximum.
+func (p *Progress) SetHeapPeak(bytes uint64) {
+	if p == nil {
+		return
+	}
+	for {
+		cur := p.heapPeak.Load()
+		if bytes <= cur || p.heapPeak.CompareAndSwap(cur, bytes) {
+			return
+		}
+	}
+}
+
+// ProgressSnapshot is one consistent-enough read of a live job. Every field
+// varies with scheduling and wall time; it must never be written into a
+// scrubbed artifact.
+type ProgressSnapshot struct {
+	Stage         string  `json:"stage,omitempty"`
+	Events        int64   `json:"events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	QueuedMs      int64   `json:"queued_ms"`
+	RunMs         int64   `json:"run_ms"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes,omitempty"`
+}
+
+// Snapshot reads the current state. Safe on nil (zero snapshot) and safe to
+// call concurrently with the job's own writes.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	var s ProgressSnapshot
+	s.Events = p.events.Load()
+	s.PeakHeapBytes = p.heapPeak.Load()
+	if v, ok := p.stage.Load().(string); ok {
+		s.Stage = v
+	}
+	now := time.Now()
+	started := p.startedNs.Load()
+	if started == 0 {
+		s.QueuedMs = now.Sub(p.created).Milliseconds()
+		return s
+	}
+	st := time.Unix(0, started)
+	s.QueuedMs = st.Sub(p.created).Milliseconds()
+	s.RunMs = now.Sub(st).Milliseconds()
+	if secs := now.Sub(st).Seconds(); secs > 0 && s.Events > 0 {
+		s.EventsPerSec = float64(s.Events) / secs
+	}
+	return s
+}
+
+// progressKey is the private context key for Progress.
+type progressKey struct{}
+
+// WithProgress returns a context carrying the progress tracker.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// ProgressFrom extracts the tracker; nil (off) when absent. The lookup does
+// not allocate, so callers may use it once per stage without guards.
+func ProgressFrom(ctx context.Context) *Progress {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// JobRecord is the flight recorder's summary of one completed job: enough
+// to answer "why was last night's run slow" without the job's full
+// manifest. Timings come from the job's Progress snapshot (obs owns the
+// clock); the manifest digest is of the *scrubbed* artifact, so the record
+// points at the deterministic output without duplicating it.
+type JobRecord struct {
+	Seq             int64   `json:"seq"`
+	TraceID         string  `json:"trace_id"`
+	JobID           string  `json:"job_id"`
+	Outcome         string  `json:"outcome"` // "done" or "failed"
+	Cached          bool    `json:"cached,omitempty"`
+	Attempts        int     `json:"attempts"`
+	Error           string  `json:"error,omitempty"`
+	ManifestSHA256  string  `json:"manifest_sha256,omitempty"`
+	Stage           string  `json:"stage,omitempty"`
+	Events          int64   `json:"events,omitempty"`
+	EventsPerSec    float64 `json:"events_per_sec,omitempty"`
+	QueuedMs        int64   `json:"queued_ms"`
+	RunMs           int64   `json:"run_ms"`
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes,omitempty"`
+	Degraded        int     `json:"degraded,omitempty"`
+	CompletedUnixMs int64   `json:"completed_unix_ms"`
+}
+
+// FlightRecorder keeps the last N completed-job records in a fixed ring:
+// O(1) per job, bounded memory forever, readable at GET /debug/flight and
+// dumped to disk on drain so a crash is diagnosable after the fact. Nil is
+// off, like every obs surface.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []JobRecord
+	next int
+	n    int
+	seq  int64
+}
+
+// DefaultFlightSize is the ring capacity when the daemon doesn't override.
+const DefaultFlightSize = 64
+
+// NewFlightRecorder builds a recorder holding the last n records; n < 1
+// falls back to DefaultFlightSize.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = DefaultFlightSize
+	}
+	return &FlightRecorder{ring: make([]JobRecord, n)}
+}
+
+// Record stamps the record with the next sequence number and the wall
+// clock, then folds it into the ring (evicting the oldest when full).
+func (f *FlightRecorder) Record(rec JobRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.seq++
+	rec.Seq = f.seq
+	if rec.CompletedUnixMs == 0 {
+		rec.CompletedUnixMs = time.Now().UnixMilli()
+	}
+	f.ring[f.next] = rec
+	f.next = (f.next + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// Len reports how many records the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Snapshot returns the held records, newest first.
+func (f *FlightRecorder) Snapshot() []JobRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]JobRecord, 0, f.n)
+	for i := 1; i <= f.n; i++ {
+		out = append(out, f.ring[(f.next-i+len(f.ring))%len(f.ring)])
+	}
+	return out
+}
+
+// flightDump is the on-disk / on-wire shape: capacity plus records newest
+// first, versioned so a future layout change can migrate.
+type flightDump struct {
+	Version int         `json:"version"`
+	Size    int         `json:"size"`
+	Records []JobRecord `json:"records"`
+}
+
+// WriteJSON serializes the recorder (newest first) for /debug/flight and
+// the drain-time dump. A nil recorder writes an empty document.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	if f == nil {
+		_, err := io.WriteString(w, `{"version":1,"size":0,"records":[]}`+"\n")
+		return err
+	}
+	d := flightDump{Version: 1, Size: f.capLocked(), Records: f.Snapshot()}
+	if d.Records == nil {
+		d.Records = []JobRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+func (f *FlightRecorder) capLocked() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ring)
+}
+
+// Restore loads a WriteJSON dump back into the ring (oldest first, so
+// sequence order is preserved) and continues sequence numbers past the
+// highest restored value. It is tolerant of a dump written with a
+// different ring size: only the newest capacity-many records survive.
+func (f *FlightRecorder) Restore(data []byte) error {
+	if f == nil {
+		return nil
+	}
+	var d flightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("flight restore: %w", err)
+	}
+	if d.Version != 1 {
+		return fmt.Errorf("flight restore: unknown version %d", d.Version)
+	}
+	// Records are newest-first on disk; replay oldest-first.
+	var maxSeq int64
+	for i := len(d.Records) - 1; i >= 0; i-- {
+		rec := d.Records[i]
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		f.mu.Lock()
+		f.ring[f.next] = rec
+		f.next = (f.next + 1) % len(f.ring)
+		if f.n < len(f.ring) {
+			f.n++
+		}
+		f.mu.Unlock()
+	}
+	f.mu.Lock()
+	if maxSeq > f.seq {
+		f.seq = maxSeq
+	}
+	f.mu.Unlock()
+	return nil
+}

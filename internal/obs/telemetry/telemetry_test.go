@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"difftrace/internal/obs"
+)
+
+// busyRun builds a run exercising every manifest section the exposition
+// renders: counters, gauges, histograms, stages, pool-free but with ingest.
+func busyRun() *obs.Run {
+	r := obs.NewRun("test")
+	r.Counter("service.admitted").Add(3)
+	r.Counter("core.threads.objects").Add(41)
+	r.Gauge("service.queue_len").Set(2)
+	h := r.Histogram("service.job_run_ms")
+	for _, v := range []int64{1, 1, 2, 5, 9, 120, 4000} {
+		h.Observe(v)
+	}
+	sp := r.StartSpan("ingest")
+	sp.End()
+	return r
+}
+
+// TestWritePrometheusValidates round-trips the renderer through the
+// validator: whatever /metrics serves must parse as clean exposition text.
+func TestWritePrometheusValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, busyRun().Manifest()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE difftrace_service_admitted_total counter",
+		"difftrace_service_admitted_total 3",
+		"# TYPE difftrace_service_queue_len gauge",
+		"# TYPE difftrace_service_job_run_ms histogram",
+		`difftrace_service_job_run_ms_bucket{le="+Inf"} 7`,
+		"difftrace_service_job_run_ms_count 7",
+		"# TYPE difftrace_stage_runs_total counter",
+		`difftrace_stage_runs_total{path="ingest"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateText(strings.NewReader(out)); err != nil {
+		t.Fatalf("renderer output fails its own validator: %v\n%s", err, out)
+	}
+}
+
+// TestWritePrometheusNil: nil manifest writes nothing (nil is off).
+func TestWritePrometheusNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil manifest wrote %q", buf.String())
+	}
+	var run *obs.Run
+	if err := WritePrometheus(&buf, run.Manifest()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateTextRejects feeds the validator hand-broken documents; each
+// must be refused for the stated reason.
+func TestValidateTextRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"sample before help",
+			"difftrace_x_total 1\n",
+			"before its HELP/TYPE"},
+		{"type without help",
+			"# TYPE difftrace_x counter\ndifftrace_x 1\n",
+			"without preceding HELP"},
+		{"duplicate help",
+			"# HELP difftrace_x a\n# HELP difftrace_x b\n",
+			"duplicate HELP"},
+		{"duplicate type",
+			"# HELP difftrace_x a\n# TYPE difftrace_x counter\n# TYPE difftrace_x counter\n",
+			"duplicate TYPE"},
+		{"unknown type",
+			"# HELP difftrace_x a\n# TYPE difftrace_x widget\n",
+			"unknown TYPE"},
+		{"duplicate series",
+			"# HELP difftrace_x a\n# TYPE difftrace_x counter\ndifftrace_x 1\ndifftrace_x 2\n",
+			"duplicate series"},
+		{"bad value",
+			"# HELP difftrace_x a\n# TYPE difftrace_x counter\ndifftrace_x one\n",
+			"bad value"},
+		{"bucket le out of order",
+			"# HELP h a\n# TYPE h histogram\n" +
+				`h_bucket{le="5"} 1` + "\n" + `h_bucket{le="2"} 2` + "\n" +
+				`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+			"not ascending"},
+		{"non-cumulative buckets",
+			"# HELP h a\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+			"not cumulative"},
+		{"missing inf bucket",
+			"# HELP h a\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+			"want +Inf"},
+		{"inf disagrees with count",
+			"# HELP h a\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 4` + "\nh_sum 1\nh_count 5\n",
+			"!= count"},
+		{"histogram without buckets",
+			"# HELP h a\n# TYPE h histogram\nh_sum 1\nh_count 1\n",
+			"no buckets"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateText(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("validator accepted broken doc:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateTextAcceptsLabelsAndEscapes: well-formed labeled samples with
+// exposition escapes pass.
+func TestValidateTextAccepts(t *testing.T) {
+	doc := "# HELP difftrace_pool_calls_total help text\n" +
+		"# TYPE difftrace_pool_calls_total counter\n" +
+		`difftrace_pool_calls_total{site="core.diff\"quoted\""} 12` + "\n" +
+		"\n# free comment\n"
+	if err := ValidateText(strings.NewReader(doc)); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+}
+
+// TestFlightRecorderRing: the ring keeps the last N, newest first, with
+// monotone sequence numbers.
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		f.Record(JobRecord{JobID: string(rune('a' + i)), Outcome: "done"})
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 3 || snap[0].JobID != "e" || snap[2].JobID != "c" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	if snap[0].Seq != 5 || snap[2].Seq != 3 {
+		t.Fatalf("sequence numbers wrong: %+v", snap)
+	}
+	if snap[0].CompletedUnixMs == 0 {
+		t.Fatal("Record did not stamp CompletedUnixMs")
+	}
+}
+
+// TestFlightRecorderDumpRestore: WriteJSON → Restore round-trips records,
+// order, and the sequence counter, including across ring sizes.
+func TestFlightRecorderDumpRestore(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		f.Record(JobRecord{JobID: string(rune('a' + i)), TraceID: "t", Outcome: "done"})
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Version int         `json:"version"`
+		Size    int         `json:"size"`
+		Records []JobRecord `json:"records"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Version != 1 || dump.Size != 4 || len(dump.Records) != 4 {
+		t.Fatalf("dump shape: %+v", dump)
+	}
+
+	g := NewFlightRecorder(4)
+	if err := g.Restore(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.Snapshot(), f.Snapshot(); len(got) != len(want) || got[0] != want[0] || got[3] != want[3] {
+		t.Fatalf("restore mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Sequence continues past the restored maximum.
+	g.Record(JobRecord{JobID: "next"})
+	if s := g.Snapshot()[0].Seq; s != 7 {
+		t.Fatalf("post-restore seq = %d, want 7", s)
+	}
+
+	// Smaller ring keeps only the newest records.
+	small := NewFlightRecorder(2)
+	if err := small.Restore(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	snap := small.Snapshot()
+	if len(snap) != 2 || snap[0].JobID != "f" || snap[1].JobID != "e" {
+		t.Fatalf("small-ring restore kept %+v", snap)
+	}
+
+	if err := g.Restore([]byte("{")); err == nil {
+		t.Fatal("Restore accepted torn JSON")
+	}
+}
+
+// TestFlightRecorderNil: every method is safe on nil, and nil WriteJSON
+// still emits a parseable empty document.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(JobRecord{JobID: "x"})
+	if f.Len() != 0 || f.Snapshot() != nil || f.Restore(nil) != nil {
+		t.Fatal("nil recorder misbehaved")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("nil WriteJSON not JSON: %v (%q)", err, buf.String())
+	}
+}

@@ -1,0 +1,291 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateText checks a Prometheus text exposition for the structural
+// invariants a scraper relies on: every sample belongs to a family whose
+// HELP and TYPE lines came first, no family or series appears twice, and
+// histogram buckets are cumulative (monotone in ascending-le order, ending
+// in an +Inf bucket that equals the family's _count). The e2e service test
+// runs it against a live /metrics scrape; unit tests run it against
+// WritePrometheus output and against hand-broken documents.
+func ValidateText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	type famState struct {
+		typ     string
+		help    bool
+		buckets []bucket // histogram only
+		count   *float64
+		samples int
+	}
+	fams := map[string]*famState{}
+	series := map[string]bool{}
+	var order []string // family names in HELP order, for bucket checks at EOF
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			name := fieldAfter(line, "# HELP ")
+			if name == "" {
+				return fmt.Errorf("line %d: malformed HELP", lineNo)
+			}
+			f := fams[name]
+			if f != nil && f.help {
+				return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			if f == nil {
+				f = &famState{}
+				fams[name] = f
+				order = append(order, name)
+			}
+			f.help = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.Fields(line[len("# TYPE "):])
+			if len(rest) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE", lineNo)
+			}
+			name, typ := rest[0], rest[1]
+			f := fams[name]
+			if f == nil || !f.help {
+				return fmt.Errorf("line %d: TYPE for %s without preceding HELP", lineNo, name)
+			}
+			if f.typ != "" {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if f.samples > 0 {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, typ, name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		famName := name
+		suffix := ""
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if f := fams[base]; f != nil && f.typ == "histogram" {
+					famName, suffix = base, suf
+				}
+				break
+			}
+		}
+		f := fams[famName]
+		if f == nil || f.typ == "" {
+			return fmt.Errorf("line %d: sample %s before its HELP/TYPE", lineNo, name)
+		}
+		key := name + canonicalLabels(labels)
+		if series[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		series[key] = true
+		f.samples++
+
+		if f.typ == "histogram" {
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %s without le label", lineNo, name)
+				}
+				leV := math.Inf(1)
+				if le != "+Inf" {
+					leV, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q: %w", lineNo, le, err)
+					}
+				}
+				f.buckets = append(f.buckets, bucket{le: leV, count: value})
+			case "_count":
+				v := value
+				f.count = &v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if f.typ != "histogram" {
+			continue
+		}
+		if len(f.buckets) == 0 {
+			return fmt.Errorf("histogram %s has no buckets", name)
+		}
+		prevLe := math.Inf(-1)
+		prevCount := -1.0
+		for _, b := range f.buckets {
+			if b.le <= prevLe {
+				return fmt.Errorf("histogram %s: le values not ascending (%g after %g)", name, b.le, prevLe)
+			}
+			if b.count < prevCount {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative (%g after %g)", name, b.count, prevCount)
+			}
+			prevLe, prevCount = b.le, b.count
+		}
+		last := f.buckets[len(f.buckets)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("histogram %s: last bucket is %g, want +Inf", name, last.le)
+		}
+		if f.count == nil {
+			return fmt.Errorf("histogram %s has no _count sample", name)
+		}
+		if *f.count != last.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", name, last.count, *f.count)
+		}
+	}
+	return nil
+}
+
+type bucket struct {
+	le    float64
+	count float64
+}
+
+// fieldAfter returns the first whitespace-delimited token after the prefix.
+func fieldAfter(line, prefix string) string {
+	rest := strings.Fields(line[len(prefix):])
+	if len(rest) == 0 {
+		return ""
+	}
+	return rest[0]
+}
+
+// parseSample splits `name{labels} value` (labels optional) into parts.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		labels, err = parseLabels(rest[i+1 : j])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	// A timestamp may follow the value; only the value is validated.
+	valStr := rest
+	if fields := strings.Fields(rest); len(fields) > 0 {
+		valStr = fields[0]
+	}
+	value, err = strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", valStr, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` with exposition-format escapes.
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed labels %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: unquoted value", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s: unterminated value", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("duplicate label %s", key)
+		}
+		labels[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+// canonicalLabels renders a label map in sorted order so series identity is
+// independent of label order in the document.
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceID correlates everything one request touches — log lines, manifest,
+// flight-recorder entry, job view — across the service, the pipeline, and
+// the readers. It is minted once at admission (or CLI start) and carried by
+// context; it is pure telemetry, so Scrub removes it from manifests and the
+// determinism battery never sees it.
+type TraceID string
+
+// NewTraceID mints a 64-bit random ID rendered as 16 lowercase hex digits.
+// Randomness is deliberate (IDs must not collide across daemon restarts),
+// which is exactly why the ID may never influence pipeline output.
+func NewTraceID() TraceID {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand cannot fail on supported platforms; a fixed fallback
+		// still yields a usable (if non-unique) correlation key.
+		return TraceID("0000000000000000")
+	}
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// IsZero reports whether the ID is unset.
+func (id TraceID) IsZero() bool { return id == "" }
+
+func (id TraceID) String() string { return string(id) }
+
+// traceIDKey is the private context key for TraceID.
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id TraceID) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from the context; zero when absent.
+// The lookup does not allocate, so it is safe on hot paths.
+func TraceIDFrom(ctx context.Context) TraceID {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(TraceID)
+	return id
+}
+
+// SetTraceID stamps the run (and therefore its manifest) with the request's
+// trace ID. Scrub removes it again: the stored artifact is shared by every
+// request that submits the same input bytes, so it must not remember which
+// request computed it.
+func (r *Run) SetTraceID(id TraceID) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceID = id
+	r.mu.Unlock()
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"sort"
 
+	"difftrace/internal/obs"
 	"difftrace/internal/resilience"
 	"difftrace/internal/trace"
 )
@@ -171,6 +172,9 @@ func ReadSetBinaryContext(ctx context.Context, r io.Reader, reg *trace.Registry,
 		defer func() { trace.ObserveIngest(opts.Obs, cr.n, 0, rep, set) }()
 	}
 	dropSet, err := readBinary(ctx, r, reg, opts, rep, setSink{set: set})
+	// Decoded-event total feeds the job's live Progress (nil-off), matching
+	// the text and streaming readers.
+	obs.ProgressFrom(ctx).AddEvents(int64(set.TotalEvents()))
 	if err != nil && dropSet {
 		return nil, rep, err
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"difftrace/internal/obs"
 	"difftrace/internal/resilience"
 	"difftrace/internal/trace"
 )
@@ -277,6 +278,10 @@ func ReadStreamSetContext(ctx context.Context, r io.Reader, reg *trace.Registry,
 		}()
 	}
 	dropSet, err := readBinary(ctx, r, reg, opts, rep, streamSink{ss: ss})
+	// Ingest decodes every kept event once to classify it; fold that work
+	// into the job's live Progress (nil-off) so a scrape during a large
+	// ingest already shows the tokenizer moving.
+	obs.ProgressFrom(ctx).AddEvents(int64(ss.TotalEvents()))
 	if err != nil && dropSet {
 		return nil, rep, err
 	}

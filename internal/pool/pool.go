@@ -101,6 +101,11 @@ func DoObservedContext(ctx context.Context, r *obs.Run, site string, workers, n 
 }
 
 func doObserved(ctx context.Context, r *obs.Run, site string, workers, n int, fn func(i int)) {
+	// Live-progress cursor: when the ctx carries a job Progress, the pool
+	// site name is the most precise "what is running right now" available
+	// (one write per parallel loop, not per item). Set even on the nil-Run
+	// fast path — progress and manifests are independently enabled.
+	obs.ProgressFrom(ctx).SetStage(site)
 	if r == nil || n <= 0 {
 		doPool(ctx, workers, n, fn)
 		return

@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+
+	"difftrace/internal/obs/olog"
 )
 
 // fixturePair returns the repo's checked-in ILCS trace pair — the same
@@ -98,5 +102,76 @@ func TestServiceDeterminismCachedMatchesColdWorkersOne(t *testing.T) {
 	}
 	if !bytes.Equal(coldManifest, cachedManifest) {
 		t.Error("cached Workers:8 manifest differs from cold Workers:1 manifest")
+	}
+}
+
+// lockedBuf is a race-safe log sink the test can read back after jobs
+// settle (settle logs after releasing the job lock, so an unsynchronized
+// buffer would race with the HTTP poll observing the done state).
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestServiceDeterminismTelemetryNoLeak is the telemetry exemption golden:
+// with tracing, structured logging, live progress, and the heap sampler
+// all enabled, the stored scrubbed manifest is still byte-identical across
+// two services (whose submissions necessarily mint different trace IDs),
+// and no trace ID — nor the trace_id key itself — survives Scrub into the
+// artifact. The trace ID must instead appear on the job view and in every
+// job log line, which is where telemetry is supposed to live.
+func TestServiceDeterminismTelemetryNoLeak(t *testing.T) {
+	normal, faulty := fixturePair(t)
+	req := DiffRequest{Normal: normal, Faulty: faulty}
+
+	fetch := func() (manifest []byte, traceID, logs string) {
+		var lb lockedBuf
+		svc := newTestService(t, Config{Obs: newObsForTest(), Log: olog.New(&lb, olog.Debug)})
+		ts := httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		resp, jr := postDiff(t, ts, req)
+		if resp.StatusCode != 202 {
+			t.Fatalf("POST = %d", resp.StatusCode)
+		}
+		done := waitJobHTTP(t, ts, jr.ID)
+		if done.State != StateDone {
+			t.Fatalf("job failed: %s", done.Error)
+		}
+		if done.TraceID == "" {
+			t.Fatal("done job view has no trace ID")
+		}
+		return done.Manifest, done.TraceID, lb.String()
+	}
+
+	manifest1, tid1, logs1 := fetch()
+	manifest2, tid2, _ := fetch()
+	if tid1 == tid2 {
+		t.Fatalf("two services minted the same trace ID %s", tid1)
+	}
+	if !bytes.Equal(manifest1, manifest2) {
+		t.Errorf("scrubbed manifests differ across trace IDs:\n--- a ---\n%s\n--- b ---\n%s", manifest1, manifest2)
+	}
+	for _, leak := range []string{"trace_id", tid1, tid2} {
+		if strings.Contains(string(manifest1), leak) {
+			t.Errorf("scrubbed manifest leaks %q:\n%s", leak, manifest1)
+		}
+	}
+	if !strings.Contains(logs1, tid1) {
+		t.Errorf("job logs never mention trace ID %s:\n%s", tid1, logs1)
+	}
+	if !strings.Contains(logs1, `"msg":"job done"`) {
+		t.Errorf("job logs missing completion line:\n%s", logs1)
 	}
 }

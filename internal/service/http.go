@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"difftrace/internal/obs/telemetry"
 )
 
 // jobResponse is the wire shape of a job: the JobView plus, for done
@@ -29,14 +31,20 @@ type errorResponse struct {
 //	                                           429 queue full (Retry-After) /
 //	                                           503 draining
 //	GET  /v1/jobs/{id} job status + artifacts  200 / 404
-//	GET  /healthz      liveness                200 ok / 503 draining
-//	GET  /metrics      service metrics summary 200 (text)
+//	                   (running jobs include live progress + trace_id)
+//	GET  /healthz      liveness + queue state  200 ok /
+//	                                           503 draining (Retry-After)
+//	GET  /metrics      Prometheus exposition   200 (text; ?format=json for
+//	                                           the live manifest, ?format=
+//	                                           summary for the human table)
+//	GET  /debug/flight recent completed jobs   200 (JSON ring, newest first)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/diff", s.handleDiff)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	return mux
 }
 
@@ -121,22 +129,57 @@ func (s *Service) attachArtifacts(resp *jobResponse) {
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		// A draining service is past saving for this client; the hint tells
+		// load balancers when a replacement is worth probing.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "draining",
+			"status":    "draining",
+			"draining":  true,
+			"queue_len": s.QueueDepth(),
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
+		"draining":  false,
 		"queue_len": s.QueueDepth(),
 	})
 }
 
+// handleMetrics serves the service registry. The default is the Prometheus
+// text exposition format (scrapable); ?format=json returns the live —
+// unscrubbed — manifest JSON, and ?format=summary the human-readable table
+// the endpoint used to serve. None of these outputs are deterministic and
+// none are stored: scrubbing applies to artifacts, not scrapes.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.cfg.Obs == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("metrics disabled (no obs run configured)\n")) //nolint:errcheck
 		return
 	}
-	s.cfg.Obs.WriteSummary(w)
+	// The flight ring's depth is itself a metric worth scraping.
+	s.cfg.Obs.Gauge("service.flight_records").Set(int64(s.flight.Len()))
+	switch r.URL.Query().Get("format") {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		s.cfg.Obs.Manifest().WriteJSON(w) //nolint:errcheck // response writer errors have no recovery
+	case "summary", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.cfg.Obs.WriteSummary(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WritePrometheus(w, s.cfg.Obs.Manifest()) //nolint:errcheck // response writer errors have no recovery
+	}
+}
+
+// handleFlight dumps the flight recorder: the last N completed jobs, newest
+// first, in the same shape the SIGTERM drain persists to the store sidecar.
+func (s *Service) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w) //nolint:errcheck // response writer errors have no recovery
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"difftrace/internal/obs"
+	"difftrace/internal/obs/telemetry"
 )
 
 func postDiff(t *testing.T, ts *httptest.Server, req DiffRequest) (*http.Response, jobResponse) {
@@ -209,20 +210,52 @@ func TestHTTPMetrics(t *testing.T) {
 	_, jr := postDiff(t, ts, DiffRequest{Normal: normal, Faulty: faulty})
 	waitJobHTTP(t, ts, jr.ID)
 
-	resp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+		return buf.String(), resp.Header.Get("Content-Type")
 	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		t.Fatal(err)
+
+	// Default: Prometheus text exposition, and a valid document at that.
+	prom, ctype := get("/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q, want Prometheus text", ctype)
 	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/metrics = %d", resp.StatusCode)
+	if !strings.Contains(prom, "difftrace_service_admitted_total 1") {
+		t.Fatalf("/metrics missing admission counter:\n%s", prom)
 	}
-	if !strings.Contains(buf.String(), "service.admitted") {
-		t.Fatalf("/metrics missing admission counter:\n%s", buf.String())
+	if err := telemetry.ValidateText(strings.NewReader(prom)); err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, prom)
+	}
+
+	// ?format=json: the live manifest, unscrubbed, as JSON.
+	jsonBody, ctype := get("/metrics?format=json")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/metrics?format=json content type = %q", ctype)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal([]byte(jsonBody), &m); err != nil {
+		t.Fatalf("/metrics?format=json is not a manifest: %v", err)
+	}
+	if m.Counters["service.admitted"] != 1 {
+		t.Fatalf("manifest admitted = %d, want 1", m.Counters["service.admitted"])
+	}
+
+	// ?format=summary: the original human-readable table.
+	summary, _ := get("/metrics?format=summary")
+	if !strings.Contains(summary, "service.admitted") {
+		t.Fatalf("/metrics?format=summary missing admission counter:\n%s", summary)
 	}
 }
 

@@ -53,6 +53,8 @@ import (
 	"difftrace/internal/core"
 	"difftrace/internal/filter"
 	"difftrace/internal/obs"
+	"difftrace/internal/obs/olog"
+	"difftrace/internal/obs/telemetry"
 	"difftrace/internal/parlot"
 	"difftrace/internal/resilience"
 	"difftrace/internal/store"
@@ -144,6 +146,12 @@ type Config struct {
 	// Obs receives service-level metrics (admissions, rejections, cache
 	// hits, retries, panics). Nil disables at zero cost.
 	Obs *obs.Run
+	// Log receives structured JSON log lines with each job's trace ID and
+	// stage attached. Nil disables at zero cost.
+	Log *olog.Logger
+	// FlightSize caps the flight recorder's ring of recently completed
+	// jobs (0: telemetry.DefaultFlightSize).
+	FlightSize int
 	// Hooks inject faults in tests.
 	Hooks Hooks
 }
@@ -213,34 +221,49 @@ const (
 
 // job is the service's mutable record of one submission.
 type job struct {
-	id  string
-	req DiffRequest
+	id      string
+	req     DiffRequest
+	traceID obs.TraceID
+	prog    *obs.Progress // live telemetry; nil only for interned cache hits
+	log     *olog.Logger  // bound to trace_id + job id; nil is off
 
 	// raw bytes pinned at admission; cleared once the job settles.
 	normalRaw, faultyRaw []byte
 	normalHash, faultyHash string
 
-	mu       sync.Mutex
-	state    JobState
-	attempts int
-	err      string
-	cached   bool
+	mu          sync.Mutex
+	state       JobState
+	attempts    int
+	err         string
+	cached      bool
+	manifestSHA string // sha256 of the scrubbed manifest artifact
+	degraded    int    // degraded-stage count from the last successful run
 }
 
 // JobView is the immutable snapshot handed to callers (and serialized by
-// the HTTP layer).
+// the HTTP layer). Progress is attached only while the job runs — it is
+// live telemetry (events decoded, events/sec, current stage, peak heap),
+// not part of the deterministic result.
 type JobView struct {
-	ID       string   `json:"id"`
-	State    JobState `json:"state"`
-	Attempts int      `json:"attempts"`
-	Cached   bool     `json:"cached"`
-	Error    string   `json:"error,omitempty"`
+	ID       string                `json:"id"`
+	TraceID  string                `json:"trace_id,omitempty"`
+	State    JobState              `json:"state"`
+	Attempts int                   `json:"attempts"`
+	Cached   bool                  `json:"cached"`
+	Error    string                `json:"error,omitempty"`
+	Progress *obs.ProgressSnapshot `json:"progress,omitempty"`
 }
 
 func (j *job) view() JobView {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return JobView{ID: j.id, State: j.state, Attempts: j.attempts, Cached: j.cached, Error: j.err}
+	v := JobView{ID: j.id, TraceID: string(j.traceID), State: j.state, Attempts: j.attempts, Cached: j.cached, Error: j.err}
+	running := j.state == StateRunning
+	j.mu.Unlock()
+	if running && j.prog != nil {
+		snap := j.prog.Snapshot()
+		v.Progress = &snap
+	}
+	return v
 }
 
 func (j *job) setState(s JobState) {
@@ -251,8 +274,9 @@ func (j *job) setState(s JobState) {
 
 // Service is one running difftraced engine.
 type Service struct {
-	cfg   Config
-	store *store.Store
+	cfg    Config
+	store  *store.Store
+	flight *telemetry.FlightRecorder
 
 	queue    chan *job
 	stopOnce sync.Once
@@ -261,10 +285,14 @@ type Service struct {
 	wg       sync.WaitGroup
 
 	draining atomic.Bool
+	running  atomic.Int64 // jobs currently inside runJob
 
 	mu   sync.Mutex
 	jobs map[string]*job
 }
+
+// flightSidecar names the store sidecar the drain-time flight dump uses.
+const flightSidecar = "flight"
 
 // queueFile is where Stop persists unfinished work.
 func queueFile(storeDir string) string { return filepath.Join(storeDir, "queue.json") }
@@ -287,12 +315,28 @@ func New(ctx context.Context, cfg Config) (*Service, *resilience.IngestReport, e
 	s := &Service{
 		cfg:    cfg,
 		store:  st,
+		flight: telemetry.NewFlightRecorder(cfg.FlightSize),
 		queue:  make(chan *job, cfg.QueueDepth),
 		stopCh: make(chan struct{}),
 		cancel: cancel,
 		jobs:   make(map[string]*job),
 	}
 	cfg.Obs.Counter("service.store_quarantined").Add(int64(recovery.Quarantined()))
+	// A previous drain's flight dump survives restarts: operators can still
+	// ask "what ran before the crash". A missing or corrupt sidecar (the
+	// store quarantines those) just means an empty recorder.
+	if blob, ok, err := st.GetSidecar(flightSidecar); err == nil && ok {
+		if rerr := s.flight.Restore(blob); rerr != nil {
+			cfg.Log.Warn("flight restore failed", olog.Err(rerr))
+		}
+	}
+	cfg.Log.Info("service starting",
+		olog.Str("store", cfg.StoreDir),
+		olog.Int("concurrency", cfg.Concurrency),
+		olog.Int("queue_depth", cfg.QueueDepth),
+		olog.Int("workers", cfg.Workers),
+		olog.Int("flight_restored", s.flight.Len()),
+		olog.Int("store_quarantined", recovery.Quarantined()))
 	for i := 0; i < cfg.Concurrency; i++ {
 		s.wg.Add(1)
 		//lint:allow nakedgoroutine worker loop is bounded by Config.Concurrency and joined by Stop via s.wg
@@ -307,6 +351,9 @@ func New(ctx context.Context, cfg Config) (*Service, *resilience.IngestReport, e
 // Store exposes the underlying artifact store (read paths for the HTTP
 // layer and tests).
 func (s *Service) Store() *store.Store { return s.store }
+
+// Flight exposes the flight recorder (GET /debug/flight and tests).
+func (s *Service) Flight() *telemetry.FlightRecorder { return s.flight }
 
 // QueueDepth reports how many jobs are queued but not yet claimed.
 func (s *Service) QueueDepth() int { return len(s.queue) }
@@ -359,6 +406,7 @@ func (s *Service) Artifacts(id string) (report, manifest []byte, ok bool) {
 func (s *Service) Submit(req DiffRequest) (JobView, error) {
 	if s.draining.Load() {
 		s.cfg.Obs.Counter("service.rejected_draining").Add(1)
+		s.cfg.Log.Warn("submission rejected: draining")
 		return JobView{}, ErrDraining
 	}
 	req.defaults()
@@ -390,16 +438,35 @@ func (s *Service) Submit(req DiffRequest) (JobView, error) {
 	// manifest records whichever mode actually produced the artifacts.)
 	id := store.PairKey(nh, fh, req.Filter, req.Attr, req.Linkage)
 
+	// The trace ID is minted at admission — before the cache check — so
+	// even a cache-hit submission is correlatable across logs and flight.
+	tid := obs.NewTraceID()
+
 	// Cache hit: both artifacts already stored and intact — the job is
 	// done before it starts, no ingestion/NLR/FCA work at all.
 	if s.store.Has(id, KindReport) && s.store.Has(id, KindManifest) {
 		s.cfg.Obs.Counter("service.cache_hits").Add(1)
 		j := s.internJob(id, req, nil, nil, nh, fh)
 		j.mu.Lock()
+		// First sight of this pair since boot: adopt the submission's trace
+		// ID and give the hit a flight record; later resubmissions reuse
+		// the job's identity (one completion, one record).
+		fresh := j.traceID.IsZero()
+		if fresh {
+			j.traceID = tid
+			j.log = s.jobLogger(tid, id)
+		}
 		if j.state != StateRunning && j.state != StateQueued {
 			j.state, j.cached = StateDone, true
 		}
+		jlog := j.log
 		j.mu.Unlock()
+		jlog.Info("cache hit", olog.Bool("fresh", fresh))
+		if fresh {
+			s.flight.Record(telemetry.JobRecord{
+				TraceID: string(tid), JobID: id, Outcome: string(StateDone), Cached: true,
+			})
+		}
 		return j.view(), nil
 	}
 
@@ -410,12 +477,14 @@ func (s *Service) Submit(req DiffRequest) (JobView, error) {
 			// Same pair already on its way: share that run.
 			s.mu.Unlock()
 			s.cfg.Obs.Counter("service.dedup_joined").Add(1)
+			j.log.Info("submission joined in-flight job")
 			return j.view(), nil
 		}
 		// done (stale artifacts?) or failed: fall through and requeue.
 	}
 	j := &job{
 		id: id, req: req, state: StateQueued,
+		traceID: tid, prog: obs.NewProgress(), log: s.jobLogger(tid, id),
 		normalRaw: normalRaw, faultyRaw: faultyRaw,
 		normalHash: nh, faultyHash: fh,
 	}
@@ -425,12 +494,24 @@ func (s *Service) Submit(req DiffRequest) (JobView, error) {
 		s.mu.Unlock()
 		s.cfg.Obs.Counter("service.admitted").Add(1)
 		s.cfg.Obs.Gauge("service.queue_len").Set(int64(len(s.queue)))
+		j.log.Info("job admitted",
+			olog.Str("filter", req.Filter),
+			olog.Str("attr", req.Attr),
+			olog.Str("linkage", req.Linkage),
+			olog.Bool("streaming", req.Streaming || s.cfg.Streaming),
+			olog.Int("queue_len", len(s.queue)))
 		return j.view(), nil
 	default:
 		s.mu.Unlock()
 		s.cfg.Obs.Counter("service.rejected_full").Add(1)
+		s.cfg.Log.Warn("submission rejected: queue full", olog.Str("trace_id", string(tid)))
 		return JobView{}, ErrQueueFull
 	}
+}
+
+// jobLogger binds the service logger to one job's correlation keys.
+func (s *Service) jobLogger(tid obs.TraceID, id string) *olog.Logger {
+	return s.cfg.Log.With(olog.Str("trace_id", string(tid)), olog.Str("job", id))
 }
 
 // internJob records a job reference for ID lookups without enqueueing
@@ -472,9 +553,17 @@ func (s *Service) workerLoop(ctx context.Context) {
 	}
 }
 
-// runJob drives one job through its attempts.
+// runJob drives one job through its attempts. The job's trace ID and live
+// Progress ride the context from here down through core, pool, and the
+// readers — every layer below reads them with zero configuration.
 func (s *Service) runJob(ctx context.Context, j *job) {
 	j.setState(StateRunning)
+	s.cfg.Obs.Gauge("service.jobs_running").Set(s.running.Add(1))
+	defer func() {
+		s.cfg.Obs.Gauge("service.jobs_running").Set(s.running.Add(-1))
+	}()
+	j.prog.MarkStarted()
+	jctx := obs.WithProgress(obs.WithTraceID(ctx, j.traceID), j.prog)
 	timeout := s.cfg.JobTimeout
 	if j.req.TimeoutMs > 0 {
 		if d := time.Duration(j.req.TimeoutMs) * time.Millisecond; d < timeout {
@@ -486,7 +575,8 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		j.mu.Lock()
 		j.attempts = attempt
 		j.mu.Unlock()
-		lastErr = s.attempt(ctx, j, attempt, timeout)
+		j.log.Info("attempt starting", olog.Int("attempt", attempt))
+		lastErr = s.attempt(jctx, j, attempt, timeout)
 		if lastErr == nil {
 			s.settle(j, StateDone, "")
 			s.cfg.Obs.Counter("service.jobs_done").Add(1)
@@ -496,6 +586,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 			// The drain deadline cancelled this run, not the job's own
 			// deadline: put it back in queued state so Stop persists it
 			// for the next boot.
+			j.log.Warn("drain cancelled attempt; job requeued for next boot")
 			s.settle(j, StateQueued, "")
 			return
 		}
@@ -503,6 +594,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 			break
 		}
 		s.cfg.Obs.Counter("service.retries").Add(1)
+		j.log.Warn("transient failure; backing off", olog.Int("attempt", attempt), olog.Err(lastErr))
 		if !s.backoff(ctx, j.id, attempt) {
 			break // shutdown or cancellation interrupted the wait
 		}
@@ -512,15 +604,57 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 }
 
 // settle finalizes a job's state and, for terminal states, releases the
-// pinned input bytes.
+// pinned input bytes, folds the job's telemetry into the service registry,
+// records it in the flight ring, and logs the verdict.
 func (s *Service) settle(j *job, state JobState, errMsg string) {
 	j.mu.Lock()
 	j.state = state
 	j.err = errMsg
-	if state == StateDone || state == StateFailed {
+	terminal := state == StateDone || state == StateFailed
+	if terminal {
 		j.normalRaw, j.faultyRaw = nil, nil
 	}
+	attempts, manifestSHA, degraded := j.attempts, j.manifestSHA, j.degraded
 	j.mu.Unlock()
+	if !terminal {
+		return
+	}
+	snap := j.prog.Snapshot()
+	s.cfg.Obs.Histogram("service.job_run_ms").Observe(snap.RunMs)
+	s.cfg.Obs.Histogram("service.job_queued_ms").Observe(snap.QueuedMs)
+	s.cfg.Obs.Histogram("service.job_events").Observe(snap.Events)
+	if pk := int64(snap.PeakHeapBytes); pk > s.cfg.Obs.Gauge("service.heap_peak_bytes").Value() {
+		s.cfg.Obs.Gauge("service.heap_peak_bytes").Set(pk)
+	}
+	s.flight.Record(telemetry.JobRecord{
+		TraceID:        string(j.traceID),
+		JobID:          j.id,
+		Outcome:        string(state),
+		Attempts:       attempts,
+		Error:          errMsg,
+		ManifestSHA256: manifestSHA,
+		Stage:          snap.Stage,
+		Events:         snap.Events,
+		EventsPerSec:   snap.EventsPerSec,
+		QueuedMs:       snap.QueuedMs,
+		RunMs:          snap.RunMs,
+		PeakHeapBytes:  snap.PeakHeapBytes,
+		Degraded:       degraded,
+	})
+	if state == StateDone {
+		j.log.Info("job done",
+			olog.Int("attempts", attempts),
+			olog.Int64("run_ms", snap.RunMs),
+			olog.Int64("events", snap.Events),
+			olog.Int("degraded", degraded),
+			olog.Uint64("peak_heap_bytes", snap.PeakHeapBytes),
+			olog.Str("manifest_sha256", manifestSHA))
+	} else {
+		j.log.Error("job failed",
+			olog.Int("attempts", attempts),
+			olog.Int64("run_ms", snap.RunMs),
+			olog.Str("reason", errMsg))
+	}
 }
 
 // backoff sleeps the capped-exponential, deterministically-jittered delay
@@ -597,6 +731,12 @@ func (s *Service) attempt(ctx context.Context, j *job, attempt int, timeout time
 // it can and records what it could not — while cancellation still aborts.
 func (s *Service) pipeline(ctx context.Context, j *job) error {
 	run := obs.NewRun("difftraced")
+	run.SetTraceID(obs.TraceIDFrom(ctx))
+	prog := obs.ProgressFrom(ctx)
+	// The sampler feeds the job's live peak-heap gauge; the service-level
+	// high-water gauge is folded at settle time from the same snapshot.
+	hs := obs.StartHeapSamplerInto(50*time.Millisecond, prog)
+	defer hs.Stop()
 	run.SetConfig("normal_sha256", j.normalHash)
 	run.SetConfig("faulty_sha256", j.faultyHash)
 	run.SetConfig("filter", j.req.Filter)
@@ -633,6 +773,7 @@ func (s *Service) pipeline(ctx context.Context, j *job) error {
 		nrep, frep       *resilience.IngestReport
 		err              error
 	)
+	prog.SetStage("ingest")
 	sp := run.StartSpan("ingest")
 	if streaming {
 		snormal, nrep, err = parlot.ReadStreamSetContext(ctx, bytes.NewReader(normalRaw), reg, opts)
@@ -681,6 +822,7 @@ func (s *Service) pipeline(ctx context.Context, j *job) error {
 		return err
 	}
 
+	prog.SetStage("render")
 	var report bytes.Buffer
 	writeIngestSection(&report, nrep, frep)
 	for _, e := range rep.Degraded {
@@ -696,7 +838,15 @@ func (s *Service) pipeline(ctx context.Context, j *job) error {
 	if err := manifest.WriteJSON(&manifestJSON); err != nil {
 		return err
 	}
+	// The flight record carries the scrubbed artifact's digest so an operator
+	// can tie a flight entry to the exact stored manifest bytes.
+	sum := sha256.Sum256(manifestJSON.Bytes())
+	j.mu.Lock()
+	j.manifestSHA = fmt.Sprintf("%x", sum)
+	j.degraded = len(rep.Degraded)
+	j.mu.Unlock()
 
+	prog.SetStage("persist")
 	if err := s.store.Put(j.id, KindReport, report.Bytes()); err != nil {
 		return err
 	}
@@ -760,6 +910,9 @@ type persistedQueue struct {
 func (s *Service) Stop(ctx context.Context) (int, error) {
 	s.draining.Store(true)
 	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.cfg.Log.Info("drain starting",
+		olog.Int("queue_len", len(s.queue)),
+		olog.Int64("running", s.running.Load()))
 
 	done := make(chan struct{})
 	//lint:allow nakedgoroutine bounded: wg.Wait returns once the Concurrency workers exit; the goroutine is joined via done before Stop returns on the happy path and leaks at most until process exit on the deadline path
@@ -772,10 +925,24 @@ func (s *Service) Stop(ctx context.Context) (int, error) {
 	case <-ctx.Done():
 		// Drain deadline expired: cancel in-flight job contexts and wait
 		// for the (now promptly-aborting) workers.
+		s.cfg.Log.Warn("drain deadline expired; cancelling in-flight jobs")
 		s.cancel()
 		<-done
 	}
 	s.cancel()
+
+	// The flight dump is the drain's black box: everything that completed
+	// recently, persisted through the store's self-verifying sidecar so the
+	// next boot (or a post-mortem) can read it back. A dump failure must not
+	// fail the drain — it is telemetry, not state.
+	var flightBuf bytes.Buffer
+	if err := s.flight.WriteJSON(&flightBuf); err == nil {
+		if perr := s.store.PutSidecar(flightSidecar, flightBuf.Bytes()); perr != nil {
+			s.cfg.Log.Warn("flight dump failed", olog.Err(perr))
+		} else {
+			s.cfg.Log.Info("flight dump persisted", olog.Int("records", s.flight.Len()))
+		}
+	}
 
 	// Collect unfinished work: still-buffered queue entries plus jobs a
 	// cancelled run pushed back to queued.
@@ -805,6 +972,7 @@ func (s *Service) Stop(ctx context.Context) (int, error) {
 	})
 	if len(pending) == 0 {
 		os.Remove(queueFile(s.cfg.StoreDir))
+		s.cfg.Log.Info("drain complete", olog.Int("persisted", 0))
 		return 0, nil
 	}
 	blob, err := json.MarshalIndent(persistedQueue{Version: 1, Jobs: pending}, "", "  ")
@@ -818,6 +986,7 @@ func (s *Service) Stop(ctx context.Context) (int, error) {
 	if err := os.Rename(tmp, queueFile(s.cfg.StoreDir)); err != nil {
 		return 0, fmt.Errorf("service: persist queue: %w", err)
 	}
+	s.cfg.Log.Info("drain complete", olog.Int("persisted", len(pending)))
 	return len(pending), nil
 }
 
@@ -839,15 +1008,23 @@ func (s *Service) restoreQueue() error {
 		// in-place by renaming, and start empty.
 		os.Rename(path, path+".corrupt")
 		s.cfg.Obs.Counter("service.queue_restore_corrupt").Add(1)
+		s.cfg.Log.Warn("queue restore: corrupt queue.json quarantined", olog.Str("path", path+".corrupt"))
 		return nil
 	}
 	os.Remove(path)
+	restored := 0
 	for _, req := range pq.Jobs {
 		if _, err := s.Submit(req); err != nil && !errors.Is(err, ErrQueueFull) {
 			s.cfg.Obs.Counter("service.queue_restore_failed").Add(1)
+			s.cfg.Log.Warn("queue restore: submission failed",
+				olog.Str("normal", req.Normal), olog.Str("faulty", req.Faulty), olog.Err(err))
 			continue
 		}
+		restored++
 		s.cfg.Obs.Counter("service.queue_restored").Add(1)
+	}
+	if restored > 0 {
+		s.cfg.Log.Info("queue restored", olog.Int("jobs", restored))
 	}
 	return nil
 }

@@ -249,12 +249,15 @@ func ReadSetTextContext(ctx context.Context, r io.Reader, reg *Registry, opts Re
 	}
 	// Ingestion accounting runs on every exit path — a strict read that
 	// fails mid-file still reports the bytes/lines/events it got through.
+	// The parsed-event total also feeds the job's live Progress (nil-off),
+	// matching the streaming reader's decode accounting.
 	defer func() {
 		var n int64
 		if cr != nil {
 			n = cr.n
 		}
 		ObserveIngest(opts.Obs, n, int64(lineno), rep, s)
+		obs.ProgressFrom(ctx).AddEvents(int64(s.TotalEvents()))
 	}()
 	// curName names the trace for error messages and salvage records.
 	curName := func() string {
