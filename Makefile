@@ -3,7 +3,7 @@
 # corrupt-input fuzz seed corpora.
 GO ?= go
 
-.PHONY: all build vet lint test race determinism bench bench-fca bench-obs bench-streaming memceiling profile fuzz-seeds fuzz check
+.PHONY: all build vet lint test race determinism bench bench-fca bench-obs bench-streaming bench-lint memceiling profile fuzz-seeds fuzz check
 
 all: build
 
@@ -15,10 +15,12 @@ vet:
 
 # Project-invariant static analysis: difftracelint loads and type-checks
 # every package in the module and proves the determinism/panic/concurrency
-# discipline at compile time (see DESIGN.md §9). Exits non-zero on any
-# unsuppressed diagnostic, including malformed //lint:allow directives.
+# discipline at compile time (see DESIGN.md §9 and §14). Exits non-zero on
+# any unsuppressed diagnostic, including malformed //lint:allow directives.
+# .lintcache persists the interprocedural summary layer between runs, keyed
+# on each package's source hash — a no-change rerun skips the summary walk.
 lint:
-	$(GO) run ./cmd/difftracelint ./...
+	$(GO) run ./cmd/difftracelint -summary-cache .lintcache ./...
 
 test:
 	$(GO) test ./...
@@ -110,6 +112,15 @@ bench-streaming:
 	$(GO) test -run '^$$' -bench 'BenchmarkStreaming_' \
 		-benchmem -benchtime=3x -timeout 1200s . | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -out BENCH_streaming.json $(BENCHJSON_FLAGS)
+
+# Lint-driver worker sweep over the full module (load once, then the check
+# fan-out at workers=1/2/4/8); regenerates the BENCH_lint.json baseline.
+# workers=1 is the pre-parallel driver, workers=GOMAXPROCS is what `make
+# lint` runs; the self-check proves every count emits identical output.
+bench-lint:
+	$(GO) test -run '^$$' -bench 'BenchmarkLint_' \
+		-benchtime=3x -timeout 1200s ./internal/lint/checks | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -out BENCH_lint.json $(BENCHJSON_FLAGS)
 
 # Streaming memory-ceiling proof: a 24M-event pair whose expansion is >=20x
 # the 8 MiB heap budget must analyze without the live heap ever crossing

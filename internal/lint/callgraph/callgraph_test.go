@@ -1,0 +1,145 @@
+package callgraph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"difftrace/internal/lint"
+)
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func loadModule(t *testing.T, root string) []*lint.Package {
+	t.Helper()
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func TestBuildChainsAndReachability(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module cg\n\ngo 1.24\n",
+		"a.go": `package cg
+
+import "cg/inner"
+
+// Top is the exported entry point.
+func Top() int { return mid() }
+
+func mid() int { return inner.Leaf() }
+
+// orphan is referenced by nobody.
+func orphan() int { return 0 }
+`,
+		"inner/inner.go": `package inner
+
+func Leaf() int { return hidden() }
+
+func hidden() int { return 1 }
+`,
+	})
+	g := Build(loadModule(t, root))
+
+	for key, want := range map[string]bool{
+		"cg.Top":          true,
+		"cg.mid":          true,
+		"cg/inner.Leaf":   true, // exported: a root itself
+		"cg/inner.hidden": true, // reachable via Leaf
+		"cg.orphan":       false,
+	} {
+		if got := g.ReachableFromExported(key); got != want {
+			t.Errorf("ReachableFromExported(%s) = %v, want %v", key, got, want)
+		}
+	}
+
+	chain := g.ChainFromExported("cg/inner.hidden")
+	if got, want := strings.Join(chain, " -> "), "cg/inner.Leaf -> cg/inner.hidden"; got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+	// mid is reachable only through Top, so its chain is interprocedural.
+	chain = g.ChainFromExported("cg.mid")
+	if got, want := strings.Join(chain, " -> "), "cg.Top -> cg.mid"; got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+	if g.ChainFromExported("cg.orphan") != nil {
+		t.Error("orphan got a chain despite being unreachable")
+	}
+}
+
+func TestFuncLitNodesAndReferences(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module cg\n\ngo 1.24\n",
+		"a.go": `package cg
+
+// Run hands work to a scheduler as a value: a reference edge, not a call.
+func Run() {
+	sched(func() { helper() })
+}
+
+func sched(fn func()) { fn() }
+
+func helper() {}
+`,
+	})
+	g := Build(loadModule(t, root))
+
+	lit, ok := g.ByKey["cg.Run$1"]
+	if !ok {
+		t.Fatal("no node for the function literal cg.Run$1")
+	}
+	if len(lit.Calls) != 1 || lit.Calls[0].Callee.Key != "cg.helper" {
+		t.Errorf("literal edges = %v, want one edge to cg.helper", lit.Calls)
+	}
+	if !g.ReachableFromExported("cg.helper") {
+		t.Error("helper should be reachable through the literal")
+	}
+	chain := strings.Join(g.ChainFromExported("cg.helper"), " -> ")
+	if want := "cg.Run -> cg.Run$1 -> cg.helper"; chain != want {
+		t.Errorf("chain = %q, want %q", chain, want)
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module cg\n\ngo 1.24\n",
+		"a.go":   "package cg\n\nfunc A() { b(); b() }\n\nfunc b() {}\n",
+	})
+	pkgs := loadModule(t, root)
+	var first bytes.Buffer
+	if err := Build(pkgs).Dump(&first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "cg.A [root]") || !strings.Contains(first.String(), "  -> cg.b") {
+		t.Errorf("dump missing expected lines:\n%s", first.String())
+	}
+	var second bytes.Buffer
+	if err := Build(pkgs).Dump(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("Dump output differs between two builds over the same packages")
+	}
+}

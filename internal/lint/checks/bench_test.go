@@ -1,0 +1,63 @@
+package checks_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"difftrace/internal/lint"
+	"difftrace/internal/lint/checks"
+)
+
+var benchModule struct {
+	once sync.Once
+	pkgs []*lint.Package
+	root string
+	err  error
+}
+
+// loadModuleOnce type-checks the whole module a single time and shares the
+// result across benchmark iterations — the benchmark measures the check
+// driver (per-package fan-out plus the interprocedural layers), not the
+// parser.
+func loadModuleOnce(b *testing.B) ([]*lint.Package, string) {
+	b.Helper()
+	benchModule.once.Do(func() {
+		loader, err := lint.NewLoader(".")
+		if err != nil {
+			benchModule.err = err
+			return
+		}
+		benchModule.root = loader.ModRoot
+		benchModule.pkgs, benchModule.err = loader.LoadModuleWorkers(0)
+	})
+	if benchModule.err != nil {
+		b.Fatal(benchModule.err)
+	}
+	return benchModule.pkgs, benchModule.root
+}
+
+// BenchmarkLint_Run sweeps the driver's worker count over the full module
+// with all thirteen checks. workers=1 is the old sequential driver;
+// workers=GOMAXPROCS is what `make lint` runs. Output is sorted before
+// emit, so every worker count is proven byte-identical by the self-check —
+// this benchmark only has to prove the wall-time win.
+func BenchmarkLint_Run(b *testing.B) {
+	pkgs, root := loadModuleOnce(b)
+	// Same fixed sweep as BenchmarkParallel_DiffRun: on a single-CPU host
+	// the high counts measure scheduling overhead, not speedup (the JSON
+	// baseline notes which kind of host produced it).
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runner := lint.NewRunner(checks.All(), lint.ProjectConfig(), root)
+			runner.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if diags := runner.Run(pkgs); len(diags) != 0 {
+					b.Fatalf("module not clean under benchmark: %d findings", len(diags))
+				}
+			}
+		})
+	}
+}

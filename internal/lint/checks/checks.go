@@ -5,27 +5,38 @@ package checks
 
 import (
 	"difftrace/internal/lint"
+	"difftrace/internal/lint/checks/atomicdiscipline"
 	"difftrace/internal/lint/checks/ctxdiscipline"
+	"difftrace/internal/lint/checks/ctxflow"
 	"difftrace/internal/lint/checks/errwrap"
 	"difftrace/internal/lint/checks/expanddiscipline"
+	"difftrace/internal/lint/checks/lockdiscipline"
 	"difftrace/internal/lint/checks/maprange"
 	"difftrace/internal/lint/checks/nakedgoroutine"
 	"difftrace/internal/lint/checks/nilreceiver"
 	"difftrace/internal/lint/checks/obsdiscipline"
+	"difftrace/internal/lint/checks/orderflow"
 	"difftrace/internal/lint/checks/panicdiscipline"
 	"difftrace/internal/lint/checks/wallclock"
 )
 
-// All returns every registered check in stable (alphabetical) order.
+// All returns every registered check in stable (alphabetical) order. The
+// four RunModule checks (atomicdiscipline, ctxflow, lockdiscipline,
+// orderflow) share one call graph and one summary set per run via the
+// ModulePass fact table.
 func All() []*lint.Check {
 	return []*lint.Check{
+		atomicdiscipline.Check,
 		ctxdiscipline.Check,
+		ctxflow.Check,
 		errwrap.Check,
 		expanddiscipline.Check,
+		lockdiscipline.Check,
 		maprange.Check,
 		nakedgoroutine.Check,
 		nilreceiver.Check,
 		obsdiscipline.Check,
+		orderflow.Check,
 		panicdiscipline.Check,
 		wallclock.Check,
 	}

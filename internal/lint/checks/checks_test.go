@@ -8,13 +8,17 @@ import (
 
 	"difftrace/internal/lint"
 	"difftrace/internal/lint/checks"
+	"difftrace/internal/lint/checks/atomicdiscipline"
 	"difftrace/internal/lint/checks/ctxdiscipline"
+	"difftrace/internal/lint/checks/ctxflow"
 	"difftrace/internal/lint/checks/errwrap"
 	"difftrace/internal/lint/checks/expanddiscipline"
+	"difftrace/internal/lint/checks/lockdiscipline"
 	"difftrace/internal/lint/checks/maprange"
 	"difftrace/internal/lint/checks/nakedgoroutine"
 	"difftrace/internal/lint/checks/nilreceiver"
 	"difftrace/internal/lint/checks/obsdiscipline"
+	"difftrace/internal/lint/checks/orderflow"
 	"difftrace/internal/lint/checks/panicdiscipline"
 	"difftrace/internal/lint/checks/wallclock"
 	"difftrace/internal/lint/linttest"
@@ -37,6 +41,17 @@ func TestCtxdiscipline(t *testing.T)   { linttest.Run(t, ctxdiscipline.Check, fi
 func TestExpanddiscipline(t *testing.T) {
 	linttest.Run(t, expanddiscipline.Check, fixture("expanddiscipline"))
 }
+
+// The interprocedural checks load their fixtures as whole modules: each
+// violation spans at least one function boundary, most span packages.
+func TestOrderflow(t *testing.T) { linttest.RunModule(t, orderflow.Check, fixture("orderflow")) }
+func TestLockdiscipline(t *testing.T) {
+	linttest.RunModule(t, lockdiscipline.Check, fixture("lockdiscipline"))
+}
+func TestAtomicdiscipline(t *testing.T) {
+	linttest.RunModule(t, atomicdiscipline.Check, fixture("atomicdiscipline"))
+}
+func TestCtxflow(t *testing.T) { linttest.RunModule(t, ctxflow.Check, fixture("ctxflow")) }
 
 // TestCtxdisciplineMainExempt: the same patterns in a package main fixture
 // produce zero diagnostics — entry points own the root context.
@@ -68,10 +83,10 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
-// TestRegistryNames pins the registry: nine invariants, stable names,
+// TestRegistryNames pins the registry: thirteen invariants, stable names,
 // every check documented.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"ctxdiscipline", "errwrap", "expanddiscipline", "maprange", "nakedgoroutine", "nilreceiver", "obsdiscipline", "panicdiscipline", "wallclock"}
+	want := []string{"atomicdiscipline", "ctxdiscipline", "ctxflow", "errwrap", "expanddiscipline", "lockdiscipline", "maprange", "nakedgoroutine", "nilreceiver", "obsdiscipline", "orderflow", "panicdiscipline", "wallclock"}
 	all := checks.All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d checks, want %d", len(all), len(want))

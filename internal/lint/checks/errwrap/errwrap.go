@@ -3,9 +3,14 @@
 // which only works if every fmt.Errorf that carries an error operand wraps
 // it with %w instead of flattening it to text with %v/%s.
 //
-// The check flags fmt.Errorf calls whose argument list contains a value of
-// type error while the (literal) format string has no %w verb. Non-literal
-// formats are skipped — the checker cannot see the verbs.
+// The check counts %w verbs in the (literal) format string against the
+// error-typed operands in the argument list. Zero %w with any error operand
+// is the classic flattening bug; fewer %w verbs than error operands means
+// the extras are still flattened — wrap each one, or combine them with
+// errors.Join (whose result counts as a single error operand) before
+// wrapping. Multiple %w verbs are legal since Go 1.20 and pass clean.
+// Non-literal formats are skipped — the checker cannot see the verbs, and
+// "%%w" is a literal percent-w, not a verb.
 package errwrap
 
 import (
@@ -13,7 +18,6 @@ import (
 	"go/token"
 	"go/types"
 	"strconv"
-	"strings"
 
 	"difftrace/internal/lint"
 )
@@ -21,7 +25,7 @@ import (
 // Check is the registered errwrap analyzer.
 var Check = &lint.Check{
 	Name: "errwrap",
-	Doc:  "fmt.Errorf with an error operand uses %w so errors.Is/As keep working through the wrap",
+	Doc:  "every error operand of fmt.Errorf is wrapped by a %w verb (or pre-joined with errors.Join) so errors.Is/As keep working",
 	Run:  run,
 }
 
@@ -39,20 +43,56 @@ func run(p *lint.Pass) {
 			return true
 		}
 		format, err := strconv.Unquote(lit.Value)
-		if err != nil || strings.Contains(format, "%w") {
+		if err != nil {
 			return true
 		}
+		wraps := countWrapVerbs(format)
+		errs := 0
 		for _, arg := range call.Args[1:] {
 			t := p.TypeOf(arg)
 			if t == nil || t == types.Typ[types.UntypedNil] {
 				continue
 			}
 			if types.AssignableTo(t, lint.ErrorType) {
-				p.Reportf(call.Pos(),
-					"fmt.Errorf flattens an error operand with %%v/%%s — use %%w so errors.Is/As see through the wrap")
-				break
+				errs++
 			}
+		}
+		switch {
+		case errs > 0 && wraps == 0:
+			p.Reportf(call.Pos(),
+				"fmt.Errorf flattens an error operand with %%v/%%s — use %%w so errors.Is/As see through the wrap")
+		case errs > wraps && wraps > 0:
+			p.Reportf(call.Pos(),
+				"fmt.Errorf wraps %d of %d error operands — %%w each of them, or combine with errors.Join before wrapping",
+				wraps, errs)
 		}
 		return true
 	})
+}
+
+// countWrapVerbs counts %w verbs in a format string, skipping "%%" escapes
+// and stepping over flags, width, and precision ("%+w", "%2w").
+func countWrapVerbs(format string) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && isVerbPrefix(format[i]) {
+			i++
+		}
+		if i < len(format) && format[i] == 'w' {
+			n++
+		}
+	}
+	return n
+}
+
+func isVerbPrefix(c byte) bool {
+	switch c {
+	case '+', '-', '#', ' ', '.', '*':
+		return true
+	}
+	return c >= '0' && c <= '9'
 }

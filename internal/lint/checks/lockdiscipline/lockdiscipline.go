@@ -1,0 +1,135 @@
+// Package lockdiscipline infers which struct fields a mutex guards and
+// flags the accesses that forget it. There are no annotations: the
+// discipline is learned from the code's own majority behavior.
+//
+// For every field of a struct that carries a named sync.Mutex/RWMutex, the
+// check counts accesses made with the lock held versus without, across the
+// whole module. "Held" means lexically held (a Lock/defer-Unlock pair or a
+// same-package lock helper dominates the access in source order) or held
+// at every recorded call site of the containing function — the summary
+// layer's LOCKS fixpoint, which is how renderLocked-style internal helpers
+// stay clean without annotations.
+//
+// A field is inferred GUARDED when at least two accesses hold the lock and
+// held accesses outnumber unheld ones two to one. Each unheld access to a
+// guarded field is then reported, provided:
+//
+//   - the containing function is reachable from the module's exported
+//     surface (dead code and test scaffolding don't page anyone), and
+//   - the containing function is not a constructor of the struct
+//     (initialization before publication needs no lock).
+//
+// The diagnostic carries the call chain from the entry point, rendered by
+// difftracelint -why.
+package lockdiscipline
+
+import (
+	"strings"
+
+	"difftrace/internal/lint"
+	"difftrace/internal/lint/callgraph"
+	"difftrace/internal/lint/summary"
+)
+
+// Check is the registered lockdiscipline analyzer.
+var Check = &lint.Check{
+	Name:      "lockdiscipline",
+	Doc:       "fields guarded by a mutex on most accesses must not be accessed without it on any path reachable from the API",
+	RunModule: run,
+}
+
+func run(mp *lint.ModulePass) {
+	g := callgraph.For(mp)
+	s := summary.For(mp)
+
+	// Mutex topology: owner struct -> its mutex keys.
+	structMu := make(map[string][]string)
+	for _, ps := range s.Pkgs {
+		for _, ms := range ps.MutexStructs {
+			structMu[ms.Type] = ms.Mutexes
+		}
+	}
+
+	type access struct {
+		a   summary.FieldAccess
+		rel string // package Rel for Exempt/Only
+	}
+	var (
+		all   []access
+		held  = make(map[string]int)
+		plain = make(map[string]int)
+	)
+	for _, ps := range s.Pkgs {
+		for _, a := range ps.Accesses {
+			owner := ownerOf(a.Field)
+			if len(structMu[owner]) == 0 {
+				continue // struct has no mutex; not this check's domain
+			}
+			if constructs(s.Func(a.Fn), owner) {
+				continue // constructor: initialization before publication
+			}
+			if effectiveHeld(s, a, structMu[owner]) {
+				held[a.Field]++
+			} else {
+				plain[a.Field]++
+				all = append(all, access{a: a, rel: ps.Rel})
+			}
+		}
+	}
+
+	for _, acc := range all {
+		a := acc.a
+		h, p := held[a.Field], plain[a.Field]
+		// Majority vote: the module's own behavior defines the discipline.
+		if h < 2 || h < 2*p {
+			continue
+		}
+		if !g.ReachableFromExported(a.Fn) {
+			continue
+		}
+		verb := "read"
+		if a.Write {
+			verb = "written"
+		}
+		mp.ReportAt(acc.rel, a.Pos.File, a.Pos.Line, a.Pos.Col, g.ChainFromExported(a.Fn),
+			"%s is guarded by %s on %d of %d accesses but %s here without it",
+			a.Field, strings.Join(structMu[ownerOf(a.Field)], ", "), h, h+p, verb)
+	}
+}
+
+// effectiveHeld reports whether the access holds one of the struct's
+// mutexes, lexically or through the called-with-lock-held fixpoint.
+func effectiveHeld(s *summary.Set, a summary.FieldAccess, mutexes []string) bool {
+	if len(a.Held) > 0 {
+		return true
+	}
+	for _, m := range s.HeldAlways(a.Fn) {
+		for _, want := range mutexes {
+			if m == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// constructs reports whether fn's results include the owner struct.
+func constructs(fn *summary.FuncSummary, owner string) bool {
+	if fn == nil {
+		return false
+	}
+	for _, c := range fn.Constructs {
+		if c == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerOf strips the field segment: "pkg/path.Type.field" -> "pkg/path.Type".
+func ownerOf(field string) string {
+	if i := strings.LastIndex(field, "."); i >= 0 {
+		return field[:i]
+	}
+	return field
+}

@@ -1,0 +1,53 @@
+// Package orderflow is maprange's interprocedural successor: it tracks
+// map-iteration order through helper returns, struct fields, and channel
+// fields until it reaches an ordered sink, across function and package
+// boundaries.
+//
+// maprange proves the local invariant — a range-over-map feeding a sink in
+// the same body. orderflow closes the loopholes that survive it:
+//
+//	ks := helper.Keys(m)      // helper collects in range order
+//	fmt.Fprintf(w, "%v", ks)  // sink is two calls away
+//
+//	c.hot = append(c.hot, k)  // taints a field inside the range
+//	fmt.Fprintln(w, c.hot)    // sink reads the field elsewhere
+//
+// The check consumes the summary layer's ORDER fixpoint: a flow is flagged
+// when its source — a module call's return, a struct field, or a channel
+// field — resolves to map-iteration order after closing over the whole
+// module. Flows whose source is a direct range in the same function are
+// maprange's domain and are not re-reported. Sorting before the sink
+// (sort.*, slices.Sort*, slices.Sorted) launders the taint.
+package orderflow
+
+import (
+	"difftrace/internal/lint"
+	"difftrace/internal/lint/callgraph"
+	"difftrace/internal/lint/summary"
+)
+
+// Check is the registered orderflow analyzer.
+var Check = &lint.Check{
+	Name:      "orderflow",
+	Doc:       "map-iteration order must not reach an ordered sink through helper returns, fields, or channels",
+	RunModule: run,
+}
+
+func run(mp *lint.ModulePass) {
+	g := callgraph.For(mp)
+	s := summary.For(mp)
+	for _, ps := range s.Pkgs {
+		for _, f := range ps.SinkFlows {
+			if f.Source == "range" {
+				continue // same-function range-to-sink: maprange's finding
+			}
+			if !s.ResolveUnordered(f.Source) {
+				continue
+			}
+			chain := g.ChainFromExported(f.Fn)
+			mp.ReportAt(ps.Rel, f.Pos.File, f.Pos.Line, f.Pos.Col, chain,
+				"%s reaches ordered sink %s — sort into a canonical order first",
+				s.DescribeSource(f.Source), f.Sink)
+		}
+	}
+}

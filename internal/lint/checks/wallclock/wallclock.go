@@ -49,6 +49,10 @@ func run(p *lint.Pass) {
 				p.Reportf(call.Pos(),
 					"time.%s outside obs/pool — wall time must stay in Scrub-isolated fields or the manifest loses schedule independence",
 					name)
+			case "After", "Tick", "NewTicker", "NewTimer":
+				p.Reportf(call.Pos(),
+					"time.%s outside obs/pool — timer channels fire on the wall clock, which makes any select over them schedule-varying",
+					name)
 			}
 		}
 		return true

@@ -33,28 +33,39 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"difftrace/internal/pool"
 )
 
 // Diagnostic is one finding, positioned in module-relative coordinates so
-// JSON output is machine-stable across checkouts.
+// JSON output is machine-stable across checkouts. Interprocedural checks
+// attach Chain: the call path from an exported entry point to the function
+// containing the finding, rendered by -why (and omitted from JSON when the
+// finding is purely local, so the legacy document shape is unchanged).
 type Diagnostic struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Check   string `json:"check"`
-	Message string `json:"message"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Check   string   `json:"check"`
+	Message string   `json:"message"`
+	Chain   []string `json:"chain,omitempty"`
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Check, d.Message)
 }
 
-// Check is one registered project invariant. Run is invoked once per loaded
-// package; it reports findings through the Pass.
+// Check is one registered project invariant. Exactly one of Run and
+// RunModule is set: Run is invoked once per loaded package (syntactic
+// checks), RunModule once per module with every package loaded
+// (interprocedural checks that compose call-graph and summary facts).
+// Run implementations must be safe to call concurrently for different
+// packages — the driver fans packages out across internal/pool workers.
 type Check struct {
-	Name string // stable kebab-free identifier, used in directives and JSON
-	Doc  string // one-line invariant statement (shown by difftracelint -list)
-	Run  func(*Pass)
+	Name      string // stable kebab-free identifier, used in directives and JSON
+	Doc       string // one-line invariant statement (shown by difftracelint -list)
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass hands one (check, package) unit of work its inputs and its reporter.
@@ -118,9 +129,15 @@ type allowDirective struct {
 
 // Runner executes a set of checks over loaded packages under one config.
 type Runner struct {
-	Checks  []*Check
-	Config  *Config
-	relRoot string // absolute dir that diagnostics are relativized against
+	Checks []*Check
+	Config *Config
+	// Workers bounds the per-package fan-out (0 = GOMAXPROCS). Diagnostics
+	// are sorted before emit, so any worker count yields identical output.
+	Workers int
+	// CacheDir, when set, persists the interprocedural summary layer across
+	// runs keyed on each package's source hash (see internal/lint/summary).
+	CacheDir string
+	relRoot  string // absolute dir that diagnostics are relativized against
 }
 
 // NewRunner builds a runner; relRoot (usually the module root) anchors the
@@ -134,20 +151,93 @@ func NewRunner(checks []*Check, config *Config, relRoot string) *Runner {
 }
 
 // Run analyzes every package and returns the surviving diagnostics sorted
-// by (file, line, col, check). Suppressed findings are dropped; malformed
-// or unused //lint:allow directives come back as baddirective findings.
+// by (file, line, col, check, message). Suppressed findings are dropped;
+// malformed or unused //lint:allow directives come back as baddirective
+// findings.
+//
+// Per-package checks fan out across internal/pool workers (each package
+// reports into its own slot, so no two goroutines share a diagnostic
+// slice); module-scoped checks then run once over the full package set.
+// The final sort makes the output byte-identical at any worker count.
 func (r *Runner) Run(pkgs []*Package) []Diagnostic {
-	var diags []Diagnostic
-	var allows []*allowDirective
-	for _, pkg := range pkgs {
-		allows = append(allows, r.collectAllows(pkg)...)
+	diags, _ := r.run(pkgs)
+	return diags
+}
+
+// AllowStatus is one //lint:allow directive's audit record: where it is,
+// what it claims to suppress, and whether it suppressed anything in the run
+// that produced it (Used == false means the directive is stale).
+type AllowStatus struct {
+	File   string
+	Line   int
+	Check  string
+	Reason string
+	Used   bool
+}
+
+// Audit runs every check and additionally returns the per-directive usage
+// ledger, sorted by (file, line) — the directive-hygiene sweep that proves
+// no //lint:allow outlived the finding it was written for.
+func (r *Runner) Audit(pkgs []*Package) ([]Diagnostic, []AllowStatus) {
+	diags, allows := r.run(pkgs)
+	sts := make([]AllowStatus, 0, len(allows))
+	for _, a := range allows {
+		sts = append(sts, AllowStatus{File: a.file, Line: a.line, Check: a.check, Reason: a.reason, Used: a.used})
+	}
+	sort.Slice(sts, func(i, j int) bool {
+		if sts[i].File != sts[j].File {
+			return sts[i].File < sts[j].File
+		}
+		return sts[i].Line < sts[j].Line
+	})
+	return diags, sts
+}
+
+func (r *Runner) run(pkgs []*Package) ([]Diagnostic, []*allowDirective) {
+	var perPkg, modChecks []*Check
+	for _, c := range r.Checks {
+		if c.RunModule != nil {
+			modChecks = append(modChecks, c)
+		}
+		if c.Run != nil {
+			perPkg = append(perPkg, c)
+		}
+	}
+	type slot struct {
+		diags  []Diagnostic
+		allows []*allowDirective
+	}
+	slots := make([]slot, len(pkgs))
+	pool.Do(pool.Workers(r.Workers), len(pkgs), func(i int) {
+		pkg := pkgs[i]
+		slots[i].allows = r.collectAllows(pkg)
 		rel := r.relPkgPath(pkg)
-		for _, c := range r.Checks {
+		for _, c := range perPkg {
 			if !r.applies(c.Name, rel) {
 				continue
 			}
-			pass := &Pass{Pkg: pkg, Check: c, runner: r, out: &diags}
+			pass := &Pass{Pkg: pkg, Check: c, runner: r, out: &slots[i].diags}
 			c.Run(pass)
+		}
+	})
+	var diags []Diagnostic
+	var allows []*allowDirective
+	for i := range slots {
+		diags = append(diags, slots[i].diags...)
+		allows = append(allows, slots[i].allows...)
+	}
+	if len(modChecks) > 0 && len(pkgs) > 0 {
+		mp := &ModulePass{
+			Pkgs:     pkgs,
+			Facts:    make(map[string]any),
+			CacheDir: r.CacheDir,
+			Workers:  r.Workers,
+			runner:   r,
+			out:      &diags,
+		}
+		for _, c := range modChecks {
+			mp.Check = c
+			c.RunModule(mp)
 		}
 	}
 	diags = r.suppress(diags, allows)
@@ -162,9 +252,12 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	return diags, allows
 }
 
 // relPkgPath maps an import path to its module-relative directory ("" for
@@ -294,6 +387,24 @@ func WriteText(w io.Writer, diags []Diagnostic) error {
 	for _, d := range diags {
 		if _, err := fmt.Fprintln(w, d.String()); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// WriteTextWhy is WriteText plus the -why explanation: diagnostics that
+// carry an interprocedural chain print it indented on the following line as
+// "why: entry → … → function", so the reader sees how the flagged code is
+// reached from the module's API surface.
+func WriteTextWhy(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+		if len(d.Chain) > 0 {
+			if _, err := fmt.Fprintf(w, "    why: %s\n", strings.Join(d.Chain, " → ")); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

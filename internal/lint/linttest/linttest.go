@@ -29,7 +29,41 @@ var wantRe = regexp.MustCompile("//\\s*want\\s+(\".*\"|`[^`]*`)\\s*$")
 func Run(t *testing.T, check *lint.Check, fixtureDir string) {
 	t.Helper()
 	diags := Diagnostics(t, []*lint.Check{check}, fixtureDir)
+	files, err := filepath.Glob(filepath.Join(fixtureDir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchWants(t, fixtureDir, files, diags)
+}
 
+// RunModule loads fixtureDir as a complete module (it must contain its own
+// go.mod) and checks check against want comments across every package —
+// the harness for interprocedural fixtures, whose violations span package
+// boundaries.
+func RunModule(t *testing.T, check *lint.Check, fixtureDir string) {
+	t.Helper()
+	diags := ModuleDiagnostics(t, []*lint.Check{check}, fixtureDir)
+	var files []string
+	err := filepath.WalkDir(fixtureDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchWants(t, fixtureDir, files, diags)
+}
+
+// matchWants scans want comments out of files (named relative to root, the
+// way diagnostics are) and reconciles them against diags: every diagnostic
+// needs a matching want on its line, every want needs a diagnostic.
+func matchWants(t *testing.T, root string, files []string, diags []lint.Diagnostic) {
+	t.Helper()
 	type want struct {
 		file string
 		line int
@@ -37,12 +71,12 @@ func Run(t *testing.T, check *lint.Check, fixtureDir string) {
 		hit  bool
 	}
 	var wants []*want
-	files, err := filepath.Glob(filepath.Join(fixtureDir, "*.go"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	for _, path := range files {
 		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := filepath.Rel(root, path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +93,7 @@ func Run(t *testing.T, check *lint.Check, fixtureDir string) {
 			if err != nil {
 				t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
 			}
-			wants = append(wants, &want{file: filepath.Base(path), line: i + 1, re: re})
+			wants = append(wants, &want{file: filepath.ToSlash(rel), line: i + 1, re: re})
 		}
 	}
 
@@ -100,4 +134,28 @@ func Diagnostics(t *testing.T, checks []*lint.Check, fixtureDir string) []lint.D
 	}
 	runner := lint.NewRunner(checks, nil, abs)
 	return runner.Run([]*lint.Package{pkg})
+}
+
+// ModuleDiagnostics loads fixtureDir as its own module and returns the
+// surviving diagnostics of the given checks over all of its packages, with
+// file paths relative to the fixture root.
+func ModuleDiagnostics(t *testing.T, checks []*lint.Check, fixtureDir string) []lint.Diagnostic {
+	t.Helper()
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModRoot != abs {
+		t.Fatalf("fixture %s has no go.mod of its own (loader rooted at %s)", fixtureDir, loader.ModRoot)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("loading fixture module %s: %v", fixtureDir, err)
+	}
+	runner := lint.NewRunner(checks, nil, abs)
+	return runner.Run(pkgs)
 }

@@ -3,6 +3,14 @@
 // type-checked with go/types; imports resolve through a shim that checks
 // module-internal packages recursively from source and delegates everything
 // else (the standard library) to go/importer's source importer.
+//
+// Loading is safe for concurrent use: each package is guarded by a
+// sync.Once-backed entry, so LoadModuleWorkers can type-check independent
+// import subtrees on internal/pool workers while dependencies are still
+// checked exactly once. The shared FileSet is concurrency-safe by contract;
+// the standard-library source importer is not documented as such, so its
+// calls serialize behind a mutex (each std package is only checked once and
+// memoized, so the serialization cost amortizes away).
 package lint
 
 import (
@@ -17,6 +25,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"difftrace/internal/pool"
 )
 
 // Package is one loaded, type-checked package: syntax plus types, which is
@@ -39,9 +50,20 @@ type Loader struct {
 	ModRoot string
 	ModPath string
 
-	std  types.ImporterFrom
-	pkgs map[string]*Package
-	busy map[string]bool // import-cycle guard
+	std   types.ImporterFrom
+	stdMu sync.Mutex // the source importer is not concurrency-safe
+
+	mu      sync.Mutex
+	entries map[string]*loadEntry
+}
+
+// loadEntry is the once-guarded slot for one package: the first goroutine
+// to reach a path performs the load, every other goroutine blocks on the
+// Once and then reads the settled result.
+type loadEntry struct {
+	once sync.Once
+	pkg  *Package
+	err  error
 }
 
 // NewLoader roots a loader at the module containing dir (found by walking
@@ -57,8 +79,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModRoot: root,
 		ModPath: modPath,
 		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		pkgs:    make(map[string]*Package),
-		busy:    make(map[string]bool),
+		entries: make(map[string]*loadEntry),
 	}, nil
 }
 
@@ -85,10 +106,18 @@ func findModule(dir string) (root, modPath string, err error) {
 	}
 }
 
-// LoadModule loads every package in the module, sorted by import path.
-// Directories named testdata, vendor, hidden, or underscore-prefixed are
-// skipped, matching the go tool's matching rules for "./...".
+// LoadModule loads every package in the module serially, sorted by import
+// path. Directories named testdata, vendor, hidden, or underscore-prefixed
+// are skipped, matching the go tool's matching rules for "./...".
 func (l *Loader) LoadModule() ([]*Package, error) {
+	return l.LoadModuleWorkers(1)
+}
+
+// LoadModuleWorkers is LoadModule with the package-level type-checking
+// fanned out across internal/pool workers (0 = GOMAXPROCS). The result is
+// identical to the serial load — same packages, same order, same type
+// universe — only the wall time changes.
+func (l *Loader) LoadModuleWorkers(workers int) ([]*Package, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -111,17 +140,20 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Package
-	for _, dir := range dirs {
+	pkgs := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	pool.Do(pool.Workers(workers), len(dirs), func(i int) {
+		dir := dirs[i]
 		path := l.ModPath
 		if rel, err := filepath.Rel(l.ModRoot, dir); err == nil && rel != "." {
 			path = l.ModPath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.load(path, dir, l.ModPath)
+		pkgs[i], errs[i] = l.load(path, dir, l.ModPath, nil)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }
@@ -129,7 +161,7 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 // LoadDir loads a single directory as a standalone package under the given
 // import path — the fixture-package entry point for tests.
 func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
-	return l.load(asPath, dir, "")
+	return l.load(asPath, dir, "", nil)
 }
 
 // goFiles lists the non-test .go files in dir that build for the current
@@ -155,17 +187,36 @@ func (l *Loader) goFiles(dir string) ([]string, error) {
 	return names, nil
 }
 
-// load parses and type-checks one package directory (memoized by path).
-func (l *Loader) load(path, dir, modPath string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
+// entry returns path's once-guarded slot, creating it on first sight.
+func (l *Loader) entry(path string) *loadEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[path]
+	if !ok {
+		e = &loadEntry{}
+		l.entries[path] = e
 	}
-	if l.busy[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
-	}
-	l.busy[path] = true
-	defer delete(l.busy, path)
+	return e
+}
 
+// load parses and type-checks one package directory, memoized by path.
+// stack is the current goroutine's in-progress import chain: re-entering a
+// path already on it is an import cycle, detected before the Once would
+// self-deadlock.
+func (l *Loader) load(path, dir, modPath string, stack []string) (*Package, error) {
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+	}
+	e := l.entry(path)
+	e.once.Do(func() {
+		e.pkg, e.err = l.doLoad(path, dir, modPath, append(stack, path))
+	})
+	return e.pkg, e.err
+}
+
+func (l *Loader) doLoad(path, dir, modPath string, stack []string) (*Package, error) {
 	names, err := l.goFiles(dir)
 	if err != nil {
 		return nil, err
@@ -191,25 +242,27 @@ func (l *Loader) load(path, dir, modPath string) (*Package, error) {
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: &shimImporter{l: l},
+		Importer: &shimImporter{l: l, stack: stack},
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	tpkg, _ := conf.Check(path, l.Fset, files, info)
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
 	}
-	p := &Package{
+	return &Package{
 		Path: path, ModulePath: modPath, Dir: dir,
 		Fset: l.Fset, Files: files, Types: tpkg, Info: info,
-	}
-	l.pkgs[path] = p
-	return p, nil
+	}, nil
 }
 
 // shimImporter routes module-internal imports back through the loader (so
 // their syntax and Info stay available for analysis) and everything else to
-// the source importer.
-type shimImporter struct{ l *Loader }
+// the source importer. One shim exists per in-progress load, carrying that
+// load's import chain for cycle detection.
+type shimImporter struct {
+	l     *Loader
+	stack []string
+}
 
 func (s *shimImporter) Import(path string) (*types.Package, error) {
 	return s.ImportFrom(path, s.l.ModRoot, 0)
@@ -222,11 +275,13 @@ func (s *shimImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*
 		if path != l.ModPath {
 			dir = filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath+"/")))
 		}
-		pkg, err := l.load(path, dir, l.ModPath)
+		pkg, err := l.load(path, dir, l.ModPath, s.stack)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.ImportFrom(path, srcDir, mode)
 }

@@ -1,0 +1,123 @@
+// Disk cache for package summaries. Each package serializes to one JSON
+// file keyed by a dependency-aware content hash: sha256 over a format
+// version, the package's own source files, and the hashes of its
+// module-internal imports, recursively. Editing any file in a package
+// therefore invalidates that package and everything that imports it, while
+// untouched subtrees load straight from disk — the property CI relies on
+// when it restores the cache across runs.
+//
+// The cache is strictly best-effort: any read, decode, or write failure
+// falls back to walking the syntax. A stale or corrupt cache can cost
+// time, never correctness.
+package summary
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"difftrace/internal/lint"
+)
+
+// cacheVersion invalidates every cached summary when the walker's output
+// shape or semantics change. Bump it alongside any change to build.go or
+// the serialized types.
+const cacheVersion = "difftracelint-summary-v1"
+
+// computeHashes returns the dependency-aware hash for every loaded
+// package. Hashes are computed serially (memoized recursion over the
+// import graph) before the parallel build fan-out.
+func computeHashes(pkgs []*lint.Package) map[string]string {
+	byPath := make(map[string]*lint.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	memo := make(map[string]string, len(pkgs))
+	var hash func(p *lint.Package) string
+	hash = func(p *lint.Package) string {
+		if h, ok := memo[p.Path]; ok {
+			return h
+		}
+		memo[p.Path] = "" // cycle guard; loader rejects cycles anyway
+		h := sha256.New()
+		h.Write([]byte(cacheVersion))
+		h.Write([]byte(p.Path))
+		ents, err := os.ReadDir(p.Dir)
+		if err == nil {
+			var names []string
+			for _, e := range ents {
+				n := e.Name()
+				if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+					names = append(names, n)
+				}
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				h.Write([]byte(n))
+				if data, err := os.ReadFile(filepath.Join(p.Dir, n)); err == nil {
+					h.Write(data)
+				}
+			}
+		}
+		var deps []string
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				deps = append(deps, hash(dep))
+			}
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			h.Write([]byte(d))
+		}
+		sum := hex.EncodeToString(h.Sum(nil))
+		memo[p.Path] = sum
+		return sum
+	}
+	for _, p := range pkgs {
+		hash(p)
+	}
+	return memo
+}
+
+// cacheFile maps an import path to its cache file name.
+func cacheFile(dir, pkgPath string) string {
+	return filepath.Join(dir, strings.ReplaceAll(pkgPath, "/", "__")+".json")
+}
+
+// loadCached returns the cached summary when it exists and its hash
+// matches; (nil, false) otherwise.
+func loadCached(file, wantHash string) (*PkgSummary, bool) {
+	if wantHash == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, false
+	}
+	var ps PkgSummary
+	if err := json.Unmarshal(data, &ps); err != nil || ps.Hash != wantHash {
+		return nil, false
+	}
+	return &ps, true
+}
+
+// storeCached writes the summary, creating the cache directory on first
+// use. Failures are ignored: the cache never gates a run.
+func storeCached(file string, ps *PkgSummary) {
+	data, err := json.MarshalIndent(ps, "", "\t")
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(file), 0o755); err != nil {
+		return
+	}
+	tmp := file + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, file)
+}

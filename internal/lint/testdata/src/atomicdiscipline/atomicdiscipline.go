@@ -1,0 +1,40 @@
+package atomicdiscipline
+
+import "sync/atomic"
+
+// Stats mixes an atomic counter with ordinary fields.
+type Stats struct {
+	hits int64
+	name string
+}
+
+// New initializes before publication: constructors are exempt.
+func New(name string) *Stats {
+	s := &Stats{}
+	s.hits = 0
+	s.name = name
+	return s
+}
+
+func (s *Stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+
+func (s *Stats) Load() int64 { return atomic.LoadInt64(&s.hits) }
+
+// Racy reads the counter without atomic: races with every concurrent Hit.
+func (s *Stats) Racy() int64 {
+	return s.hits // want `managed with sync/atomic but read plainly`
+}
+
+// Bump writes it plainly, which is worse.
+func (s *Stats) Bump() {
+	s.hits++ // want `managed with sync/atomic but written plainly`
+}
+
+// Name never touches the counter: ordinary fields stay out of scope.
+func (s *Stats) Name() string { return s.name }
+
+// Snap is the sanctioned escape: a snapshot taken after writers quiesce.
+func (s *Stats) Snap() int64 {
+	//lint:allow atomicdiscipline quiescent snapshot, writers stopped
+	return s.hits
+}

@@ -1,0 +1,3 @@
+module atomicdiscipline
+
+go 1.22

@@ -1,0 +1,21 @@
+package work
+
+import "context"
+
+// Do is the legacy entry point; DoContext is its cancellation-aware
+// sibling, per the module's Do/DoContext pairing convention.
+func Do(n int) int {
+	return DoContext(context.Background(), n)
+}
+
+func DoContext(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n
+}
+
+// Pure has no Context sibling: calling it from ctx-bearing code is fine.
+func Pure(n int) int { return n * 2 }

@@ -30,6 +30,26 @@ func goodSentinel() error {
 	return fmt.Errorf("while loading: %w", errBase)
 }
 
+func goodMultiWrap(parse, close error) error {
+	// Two %w verbs, two error operands: legal since Go 1.20, both visible
+	// to errors.Is/As.
+	return fmt.Errorf("parse: %w (and on close: %w)", parse, close)
+}
+
+func badPartialWrap(parse, close error) error {
+	return fmt.Errorf("parse: %w (close: %v)", parse, close) // want `wraps 1 of 2 error operands`
+}
+
+func goodJoined(parse, close error) error {
+	// errors.Join collapses the pair into one operand that unwraps to both.
+	return fmt.Errorf("teardown: %w", errors.Join(parse, close))
+}
+
+func badLiteralPercentW(err error) error {
+	// "%%w" renders as a literal "%w" — the operand is still flattened.
+	return fmt.Errorf("expected a %%w here: %v", err) // want `use %w`
+}
+
 func allowedEscape(err error) string {
 	//lint:allow errwrap fixture: display-only message, deliberately flattened for the report footer
 	return fmt.Errorf("display: %v", err).Error()

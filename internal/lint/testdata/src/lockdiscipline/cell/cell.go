@@ -1,0 +1,37 @@
+package cell
+
+import "sync"
+
+// Gauge guards Val with mu on every disciplined path.
+type Gauge struct {
+	mu  sync.Mutex
+	Val []string
+}
+
+func (g *Gauge) Set(v []string) {
+	g.mu.Lock()
+	g.Val = v
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Append(v string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.Val = append(g.Val, v)
+}
+
+// Render locks, then renders through an internal helper: the
+// called-with-lock-held fixpoint keeps renderLocked clean without
+// annotations.
+func (g *Gauge) Render() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.renderLocked()
+}
+
+func (g *Gauge) renderLocked() string {
+	if len(g.Val) == 0 {
+		return ""
+	}
+	return g.Val[0]
+}

@@ -1,0 +1,3 @@
+module lockdiscipline
+
+go 1.22

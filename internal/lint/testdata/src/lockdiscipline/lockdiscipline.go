@@ -1,0 +1,64 @@
+package lockdiscipline
+
+import (
+	"sync"
+
+	"lockdiscipline/cell"
+)
+
+// Peek reaches an unguarded read two frames from the exported surface and
+// one package away from the struct's home.
+func Peek(g *cell.Gauge) int {
+	return grab(g)
+}
+
+func grab(g *cell.Gauge) int {
+	return len(g.Val) // want `guarded by lockdiscipline/cell\.Gauge\.mu`
+}
+
+// Counter exercises the same discipline within one package, plus the
+// constructor exemption.
+type Counter struct {
+	mu sync.Mutex
+	n  []int
+}
+
+// New initializes without the lock: constructors are exempt, the struct is
+// not yet published.
+func New() *Counter {
+	c := &Counter{}
+	c.n = make([]int, 0, 8)
+	return c
+}
+
+func (c *Counter) Add(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = append(c.n, v)
+}
+
+func (c *Counter) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.n)
+}
+
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.n = c.n[:0]
+	c.mu.Unlock()
+}
+
+// Snapshot forgets the lock on a rarely-exercised path.
+func (c *Counter) Snapshot() []int {
+	return append([]int(nil), c.n...) // want `guarded by lockdiscipline\.Counter\.mu`
+}
+
+// Rough is the sanctioned escape: an advisory statistic where a torn read
+// is acceptable.
+func (c *Counter) Rough() int { return c.roughLen() }
+
+func (c *Counter) roughLen() int {
+	//lint:allow lockdiscipline advisory statistic, torn read acceptable
+	return len(c.n)
+}

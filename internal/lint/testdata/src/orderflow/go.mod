@@ -1,0 +1,3 @@
+module orderflow
+
+go 1.22

@@ -1,0 +1,74 @@
+package orderflow
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"orderflow/helper"
+)
+
+// Summary renders m through an unexported helper: the map-order hazard is
+// two calls and one package away from the exported entry point.
+func Summary(w io.Writer, m map[string]int) {
+	describe(w, m)
+}
+
+func describe(w io.Writer, m map[string]int) {
+	ks := helper.Keys(m)
+	fmt.Fprintf(w, "%v\n", ks) // want `map-iteration-ordered return of orderflow/helper\.Keys`
+}
+
+// SummarySorted uses the canonical variant: clean.
+func SummarySorted(w io.Writer, m map[string]int) {
+	ks := helper.SortedKeys(m)
+	fmt.Fprintf(w, "%v\n", ks)
+}
+
+// SummaryLocalSort collects, then sorts at the call site: clean.
+func SummaryLocalSort(w io.Writer, m map[string]int) {
+	ks := helper.Keys(m)
+	sort.Strings(ks)
+	fmt.Fprintf(w, "%v\n", ks)
+}
+
+// Cache buffers hot keys: Fill taints the field inside a range, Dump sinks
+// it from a different method entirely.
+type Cache struct {
+	hot []string
+}
+
+func (c *Cache) Fill(m map[string]bool) {
+	for k := range m {
+		c.hot = append(c.hot, k)
+	}
+}
+
+func (c *Cache) Dump(w io.Writer) {
+	fmt.Fprintln(w, c.hot) // want `field orderflow\.Cache\.hot`
+}
+
+// Feed streams keys through a channel field: the order crosses a
+// goroutine boundary before sinking.
+type Feed struct {
+	ch chan string
+}
+
+func (f *Feed) Pump(m map[string]struct{}) {
+	for k := range m {
+		f.ch <- k
+	}
+}
+
+func (f *Feed) Drain(w io.Writer) {
+	for v := range f.ch {
+		fmt.Fprintln(w, v) // want `channel field orderflow\.Feed\.ch`
+	}
+}
+
+// Debug is the sanctioned escape: ordering is immaterial in a debug dump.
+func Debug(w io.Writer, m map[string]int) {
+	ks := helper.Keys(m)
+	//lint:allow orderflow debug dump, ordering immaterial
+	fmt.Fprintf(w, "%v\n", ks)
+}

@@ -27,6 +27,28 @@ func goodDeterministicClock(ticks int64) time.Duration {
 	return time.Duration(ticks) * time.Millisecond
 }
 
+func badAfter() <-chan time.Time {
+	return time.After(time.Second) // want `time.After outside obs/pool`
+}
+
+func badTick() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick outside obs/pool`
+}
+
+func badTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time.NewTicker outside obs/pool`
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time.NewTimer outside obs/pool`
+}
+
+func goodStoppedTimer(d time.Duration) {
+	//lint:allow wallclock fixture: demonstrates a justified timer suppression
+	t := time.NewTimer(d)
+	t.Stop()
+}
+
 func allowedEscape() time.Time {
 	//lint:allow wallclock fixture: demonstrates a justified suppression of a clock read
 	return time.Now()

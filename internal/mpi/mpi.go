@@ -145,7 +145,10 @@ func (w *World) Size() int { return w.n }
 // Every point-to-point and collective operation then ticks Lamport and
 // vector clocks, enabling happened-before mining over the execution
 // (paper future-work item 2). Attach before Run.
-func (w *World) AttachClock(l *otf.Log) { w.clock = l }
+func (w *World) AttachClock(l *otf.Log) {
+	//lint:allow lockdiscipline configuration before Run; the world is not yet shared
+	w.clock = l
+}
 
 // record ticks the clock if one is attached; joinWith are the causal
 // predecessor event IDs. Returns -1 when unclocked.

@@ -114,7 +114,10 @@ type ThreadTracer struct {
 }
 
 // ID returns the thread's identity.
-func (th *ThreadTracer) ID() trace.ThreadID { return th.trace.ID }
+func (th *ThreadTracer) ID() trace.ThreadID {
+	//lint:allow lockdiscipline trace is assigned once at construction and ID never changes
+	return th.trace.ID
+}
 
 func (th *ThreadTracer) record(name string, kind trace.EventKind) {
 	id := th.tracer.reg.ID(name)

@@ -671,6 +671,7 @@ func (s *Service) backoff(ctx context.Context, jobID string, attempt int) bool {
 	// transient).
 	sum := sha256.Sum256([]byte(fmt.Sprintf("%s/%d", jobID, attempt)))
 	jitter := time.Duration(sum[0]) * d / (4 * 256) // up to +25%
+	//lint:allow wallclock retry pacing is operational, not analysis: no trace or manifest bytes depend on when the timer fires
 	t := time.NewTimer(d + jitter)
 	defer t.Stop()
 	select {
@@ -701,6 +702,7 @@ func (s *Service) attempt(ctx context.Context, j *job, attempt int, timeout time
 				}
 			}
 			if hold := s.cfg.Hooks.HoldJob; hold > 0 {
+				//lint:allow wallclock fault-injection hook: the hold exists to trigger deadline paths in tests
 				t := time.NewTimer(hold)
 				select {
 				case <-t.C:
