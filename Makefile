@@ -40,9 +40,10 @@ race:
 # the bitset FCA rewrite).
 determinism:
 	$(GO) test -race -short -count=2 \
-		-run 'Determinism|Workers|ParallelMatchesSequential|Ghost' \
+		-run 'Determinism|Workers|ParallelMatchesSequential|Ghost|Divergence|Query' \
 		./internal/core ./internal/jaccard ./internal/rank ./internal/obs \
 		./internal/experiments ./internal/resilience/chaos ./internal/service \
+		./internal/query ./internal/diffnlr \
 		./cmd/difftrace .
 
 # Worker-sweep benchmarks; regenerates the BENCH_parallel.json baseline.
@@ -82,16 +83,17 @@ profile:
 # the bitset-vs-map AttrSet equivalence scripts) as regular tests — no
 # fuzzing engine, deterministic, fast.
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/trace ./internal/parlot ./internal/nlr ./internal/fca/reftest
+	$(GO) test -run='^Fuzz' ./internal/trace ./internal/parlot ./internal/nlr ./internal/fca/reftest ./internal/diffnlr
 
-# Short live fuzzing session over the trace readers and the streaming
+# Short live fuzzing session over the trace readers, the streaming
 # equivalence targets (streaming reader vs batch reader, streaming NLR vs
-# batch NLR).
+# batch NLR), and the divergence alignment walk.
 fuzz:
 	$(GO) test -fuzz=FuzzReadSetText -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzReadSetBinary -fuzztime=30s ./internal/parlot
 	$(GO) test -fuzz=FuzzStreamReader -fuzztime=30s ./internal/parlot
 	$(GO) test -fuzz=FuzzStreamSummarize -fuzztime=30s ./internal/nlr
+	$(GO) test -fuzz=FuzzFindDivergence -fuzztime=30s ./internal/diffnlr
 
 # Telemetry overhead benchmark: the fully-instrumented job path (obs.Run,
 # trace ID, live Progress, heap sampler, JSON logger) vs the telemetry-nil

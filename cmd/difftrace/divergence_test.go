@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestStreamRefusalMessages pins the -stream conflict errors: each must
+// name the refused flag and point the user at the batch path.
+func TestStreamRefusalMessages(t *testing.T) {
+	normal, faulty := writeBinaryPair(t)
+	cases := []struct {
+		name string
+		opt  func(*options)
+		want string
+	}{
+		{"sweep", func(o *options) { o.sweep = "11.mpiall.0K10" },
+			"-stream does not support -sweep: the ranking sweep re-filters materialized trace sets; drop -stream to run the sweep on the batch path"},
+		{"triage", func(o *options) { o.triage = true },
+			"-stream does not support -triage: the companion analyses read materialized traces; drop -stream to run them on the batch path"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := options{normalPath: normal, faultyPath: faulty,
+				filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward",
+				top: 6, stream: true}
+			c.opt(&o)
+			var out bytes.Buffer
+			err := run(&out, o)
+			if err == nil {
+				t.Fatal("conflicting flags did not error")
+			}
+			if err.Error() != c.want {
+				t.Fatalf("error = %q\nwant    %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+// TestFindDivergenceFlagConflicts: -json needs -find-divergence, and the
+// explorer has no report to read in sweep mode.
+func TestFindDivergenceFlagConflicts(t *testing.T) {
+	normal, faulty := writeBinaryPair(t)
+	base := options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward", top: 6}
+
+	o := base
+	o.jsonOut = true
+	if err := run(&bytes.Buffer{}, o); err == nil || !strings.Contains(err.Error(), "-find-divergence") {
+		t.Fatalf("-json alone: err = %v, want mention of -find-divergence", err)
+	}
+	o = base
+	o.findDivergence = true
+	o.sweep = "11.mpiall.0K10"
+	if err := run(&bytes.Buffer{}, o); err == nil || !strings.Contains(err.Error(), "-sweep") {
+		t.Fatalf("-find-divergence -sweep: err = %v, want mention of -sweep", err)
+	}
+}
+
+// TestFindDivergenceCLIDeterminism: the -find-divergence output is
+// byte-identical across worker counts and across batch vs -stream on the
+// same PLOT1 pair, and names the injected fault's rank (swapBug hits p5).
+func TestFindDivergenceCLIDeterminism(t *testing.T) {
+	normal, faulty := writeBinaryPair(t)
+	base := options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward",
+		top: 6, findDivergence: true}
+
+	var ref bytes.Buffer
+	refOpts := base
+	refOpts.workers = 1
+	if err := run(&ref, refOpts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ref.String(), "divergence explorer") {
+		t.Fatalf("missing divergence section:\n%s", ref.String())
+	}
+	if !strings.Contains(ref.String(), "5.0") {
+		t.Fatalf("report does not implicate the faulty rank 5:\n%s", ref.String())
+	}
+	for _, w := range []int{8} {
+		for _, stream := range []bool{false, true} {
+			o := base
+			o.workers = w
+			o.stream = stream
+			var out bytes.Buffer
+			if err := run(&out, o); err != nil {
+				t.Fatal(err)
+			}
+			if out.String() != ref.String() {
+				t.Errorf("workers=%d stream=%v output differs from workers=1 batch:\n--- got ---\n%s--- want ---\n%s",
+					w, stream, out.String(), ref.String())
+			}
+		}
+	}
+}
+
+// TestFindDivergenceJSON: -find-divergence -json emits exactly one valid
+// JSON document on stdout — no text around it — with both levels present.
+func TestFindDivergenceJSON(t *testing.T) {
+	normal, faulty := writeBinaryPair(t)
+	o := options{normalPath: normal, faultyPath: faulty,
+		filterSpec: "11.mpiall.0K10", attrSpec: "sing.noFreq", linkageName: "ward",
+		top: 6, findDivergence: true, jsonOut: true}
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Threads *struct {
+			Objects int `json:"objects"`
+			Items   []struct {
+				Object string `json:"object"`
+				Func   string `json:"func"`
+			} `json:"items"`
+		} `json:"threads"`
+		Processes *struct{} `json:"processes"`
+	}
+	dec := json.NewDecoder(&out)
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("stdout is not a JSON document: %v\n%s", err, out.String())
+	}
+	if dec.More() {
+		t.Fatalf("stdout carries trailing content after the JSON document:\n%s", out.String())
+	}
+	if doc.Threads == nil || doc.Processes == nil {
+		t.Fatalf("JSON document missing levels:\n%s", out.String())
+	}
+	if doc.Threads.Objects == 0 || len(doc.Threads.Items) == 0 {
+		t.Fatalf("JSON thread level empty:\n%s", out.String())
+	}
+}

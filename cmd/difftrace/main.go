@@ -57,6 +57,12 @@ type options struct {
 	top                    int
 	heatmap, lattice       bool
 	color, report, triage  bool
+	// findDivergence appends the divergence explorer view: the first point
+	// each aligned normal/faulty NLR pair parts ways, annotated with the
+	// JSM suspect ranking. jsonOut switches it to the machine-readable
+	// document (and suppresses the text output around it).
+	findDivergence bool
+	jsonOut        bool
 	// stream analyzes PLOT1 inputs without ever expanding them: traces
 	// stay compressed and each pipeline stage re-decodes on the fly.
 	// Output is byte-identical to the materialized path on the same bytes.
@@ -109,6 +115,8 @@ func main() {
 	color := flag.Bool("color", false, "ANSI colors in diffNLR output")
 	report := flag.Bool("report", false, "print the full debugging report (suspects + diffNLRs of the top suspects)")
 	triage := flag.Bool("triage", false, "append the companion analyses: STAT stack classes, AutomaDeD outliers, progress ranking")
+	findDivergence := flag.Bool("find-divergence", false, "report the first divergence point of every normal/faulty NLR pair (divergence explorer)")
+	jsonOut := flag.Bool("json", false, "with -find-divergence: emit the machine-readable JSON document instead of the rendered table")
 	stream := flag.Bool("stream", false, "stream PLOT1 inputs: analyze without expanding the compressed traces (same output, bounded memory)")
 	lenient := flag.Bool("lenient", false, "salvage corrupt/truncated trace files instead of failing, and isolate per-trace pipeline failures")
 	ingestReport := flag.Bool("ingest-report", false, "print the per-trace ingestion/degradation report")
@@ -131,6 +139,7 @@ func main() {
 		custom: *custom, diffTarget: *diffTarget, sweep: *sweep, top: *top,
 		heatmap: *showHeatmap, lattice: *showLattice, color: *color,
 		report: *report, triage: *triage,
+		findDivergence: *findDivergence, jsonOut: *jsonOut,
 		stream: *stream, lenient: *lenient, ingestReport: *ingestReport, workers: *workers,
 		manifestPath: *manifest, metrics: *metrics, pprofAddr: *pprofAddr,
 		timeout: *timeout, logJSON: *logJSON, traceID: *traceID,
@@ -221,6 +230,7 @@ func run(w io.Writer, o options) error {
 		obsRun.SetConfig("linkage", o.linkageName)
 		obsRun.SetConfig("sweep", o.sweep)
 		obsRun.SetConfig("stream", strconv.FormatBool(o.stream))
+		obsRun.SetConfig("find_divergence", strconv.FormatBool(o.findDivergence))
 		obsRun.SetConfig("lenient", strconv.FormatBool(o.lenient))
 		obsRun.SetConfig("workers", strconv.Itoa(o.workers))
 	}
@@ -254,12 +264,26 @@ func run(w io.Writer, o options) error {
 	}()
 
 	// The sweep and triage views re-analyze materialized trace sets; they
-	// are batch-only by construction, so fail fast before any ingest work.
+	// are batch-only by construction, so fail fast before any ingest work,
+	// naming the refused flag and the way out.
 	if o.stream && o.sweep != "" {
-		return errors.New("-stream does not support -sweep (the ranking sweep re-filters materialized sets)")
+		return errors.New("-stream does not support -sweep: the ranking sweep re-filters materialized trace sets; drop -stream to run the sweep on the batch path")
 	}
 	if o.stream && o.triage {
-		return errors.New("-stream does not support -triage (companion analyses read materialized traces)")
+		return errors.New("-stream does not support -triage: the companion analyses read materialized traces; drop -stream to run them on the batch path")
+	}
+	if o.jsonOut && !o.findDivergence {
+		return errors.New("-json only formats the divergence explorer; pair it with -find-divergence")
+	}
+	if o.findDivergence && o.sweep != "" {
+		return errors.New("-find-divergence does not combine with -sweep: the sweep produces ranking tables, not a single report to explore")
+	}
+
+	// In JSON mode stdout carries exactly one machine-readable document, so
+	// the human-oriented text around it is dropped.
+	textW := w
+	if o.findDivergence && o.jsonOut {
+		textW = io.Discard
 	}
 
 	rdOpts := trace.ReadOptions{Obs: obsRun}
@@ -300,11 +324,11 @@ func run(w io.Writer, o options) error {
 	if o.stream {
 		// StreamSet renders the same "TraceSet{...}" header, so the two
 		// modes stay line-for-line comparable.
-		fmt.Fprintf(w, "normal: %s   faulty: %s\n", snormal, sfaulty)
+		fmt.Fprintf(textW, "normal: %s   faulty: %s\n", snormal, sfaulty)
 	} else {
-		fmt.Fprintf(w, "normal: %s   faulty: %s\n", normal, faulty)
+		fmt.Fprintf(textW, "normal: %s   faulty: %s\n", normal, faulty)
 	}
-	writeIngest(w, o, nrep, frep)
+	writeIngest(textW, o, nrep, frep)
 
 	linkage, err := cluster.ParseMethod(o.linkageName)
 	if err != nil {
@@ -350,7 +374,20 @@ func run(w io.Writer, o options) error {
 		return err
 	}
 	for _, e := range rep.Degraded {
-		fmt.Fprintf(w, "degraded: %s\n", e)
+		fmt.Fprintf(textW, "degraded: %s\n", e)
+	}
+
+	// The divergence pass runs off the finished report, so it composes
+	// with both ingest modes (and with -report below).
+	var div *core.DivergenceReport
+	if o.findDivergence {
+		div, err = rep.FindDivergenceContext(ctx)
+		if err != nil {
+			return err
+		}
+		if o.jsonOut {
+			return div.WriteJSON(w)
+		}
 	}
 
 	if o.report {
@@ -364,6 +401,12 @@ func run(w io.Writer, o options) error {
 		}
 		if o.triage {
 			writeTriage(w, flt, normal, faulty)
+		}
+		if div != nil {
+			fmt.Fprintln(w)
+			if err := div.Render(w); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -393,6 +436,12 @@ func run(w io.Writer, o options) error {
 		}
 		fmt.Fprintln(w)
 		fmt.Fprint(w, d.Render(o.color))
+	}
+	if div != nil {
+		fmt.Fprintln(w)
+		if err := div.Render(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }

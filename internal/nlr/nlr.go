@@ -448,6 +448,23 @@ func Expand(elems []Element) []string {
 	return out
 }
 
+// ExpandedLen returns the number of tokens Expand would produce, computed
+// by loop arithmetic over the summarized form — O(summary size), no
+// materialization. The query and divergence layers use it to reason about
+// expanded event positions while staying inside the streaming memory
+// contract.
+func ExpandedLen(elems []Element) int64 {
+	var n int64
+	for _, e := range elems {
+		if e.Loop == nil {
+			n++
+			continue
+		}
+		n += int64(e.Loop.Count) * ExpandedLen(e.Loop.Body)
+	}
+	return n
+}
+
 // Summarize runs the full pass over tokens (including finalization) and
 // returns the element sequence.
 func Summarize(tokens []string, k int, table *Table) []Element {

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"fmt"
+
+	"difftrace/internal/core"
+)
+
+// Explorer wraps a finished core.Report with Pair views at both
+// granularities, so a debugging session holds one handle: run the pipeline
+// once, then test hypotheses against it interactively.
+type Explorer struct {
+	Report    *core.Report
+	Threads   Pair // objects are "p.t" thread traces
+	Processes Pair // objects are "p" merged process traces
+}
+
+// Explore builds the query surface over an already-computed report. It
+// reads only the summarized NLR maps — no re-ingestion, no expansion — so
+// it is cheap to call even right after a streaming run.
+func Explore(rep *core.Report) (*Explorer, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("query: nil report")
+	}
+	e := &Explorer{Report: rep}
+	var err error
+	if e.Threads, err = levelPair(rep.Threads, "threads"); err != nil {
+		return nil, err
+	}
+	if e.Processes, err = levelPair(rep.Processes, "processes"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func levelPair(l *core.Level, name string) (Pair, error) {
+	if l == nil || l.Normal == nil || l.Faulty == nil {
+		return Pair{}, fmt.Errorf("query: report has no %s level", name)
+	}
+	return Pair{Normal: FromNLR(l.Normal.NLR), Faulty: FromNLR(l.Faulty.NLR)}, nil
+}
+
+// Level returns the Pair for a level name ("threads" or "processes").
+func (e *Explorer) Level(name string) (Pair, error) {
+	switch name {
+	case "threads":
+		return e.Threads, nil
+	case "processes":
+		return e.Processes, nil
+	}
+	return Pair{}, fmt.Errorf("query: unknown level %q (want threads or processes)", name)
+}

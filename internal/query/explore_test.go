@@ -1,0 +1,83 @@
+package query
+
+// Explorer wiring test: run the real pipeline over a ground-truth
+// synthetic pair and check the hypothesis helpers read through to the
+// injected fault.
+
+import (
+	"testing"
+
+	"difftrace/internal/core"
+	"difftrace/internal/filter"
+	"difftrace/internal/synth"
+	"difftrace/internal/trace"
+)
+
+func TestQueryExploreReadsReport(t *testing.T) {
+	base := synth.Config{
+		Prologue: 2,
+		Loops:    []synth.LoopSpec{{Body: 2, Iterations: 8}},
+		Epilogue: 1,
+	}
+	normal := synth.Population(4, -1, 0, base)
+	// Rank 2's loop runs twice as long in the faulty run.
+	faulty := buildPopulation(normal.Registry, 4, 2, 2.0, base)
+
+	cfg := core.DefaultConfig()
+	cfg.Filter = filter.Everything()
+	rep, err := core.DiffRun(normal, faulty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Explore(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fn := "loop0_body_0"
+	r := e.Threads.CountRatio(fn)
+	if r.Normal != 4*8 || r.Faulty != 3*8+16 {
+		t.Fatalf("CountRatio(%q) = %+v, want 32 normal / 40 faulty", fn, r)
+	}
+	// The per-object breakdown isolates the deviant rank.
+	for _, oc := range e.Threads.Faulty.PerObject(fn) {
+		want := int64(8)
+		if oc.Object == "2.0" {
+			want = 16
+		}
+		if oc.Count != want {
+			t.Fatalf("faulty PerObject(%q)[%s] = %d, want %d", fn, oc.Object, oc.Count, want)
+		}
+	}
+	// Changed must surface the loop-body functions, not the prologue.
+	for _, ch := range e.Threads.Changed() {
+		if ch.Normal == ch.Faulty {
+			t.Fatalf("Changed includes unchanged func %+v", ch)
+		}
+	}
+	if _, err := e.Level("nope"); err == nil {
+		t.Fatal("Level(nope) should fail")
+	}
+}
+
+// buildPopulation is synth.Population but reusing an existing registry so
+// both sides share function IDs, as real ingestion guarantees.
+func buildPopulation(reg *trace.Registry, n, deviant int, scale float64, base synth.Config) *trace.TraceSet {
+	set := trace.NewTraceSetWith(reg)
+	for p := 0; p < n; p++ {
+		cfg := base
+		cfg.Seed = base.Seed + int64(p)
+		if p == deviant {
+			cfg.Loops = append([]synth.LoopSpec(nil), base.Loops...)
+			for i := range cfg.Loops {
+				it := int(float64(cfg.Loops[i].Iterations) * scale)
+				if it < 1 {
+					it = 1
+				}
+				cfg.Loops[i].Iterations = it
+			}
+		}
+		synth.Generate(set, trace.TID(p, 0), cfg)
+	}
+	return set
+}

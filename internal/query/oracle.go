@@ -1,0 +1,86 @@
+package query
+
+// oracle.go is the differential-testing oracle for the loop-arithmetic
+// aggregates: every View method has a brute-force twin here that
+// materializes the full expansion and recounts naively. The property suite
+// (property_test.go) checks the two against each other on synth-generated
+// traces. Nothing outside tests should call these — they defeat the whole
+// O(summary) point — but the oracle lives in a non-test file so the
+// expanddiscipline directive below is actually exercised by the lint
+// loader (test files are skipped by it, which would leave the annotation
+// meaningless).
+
+import (
+	"fmt"
+
+	"difftrace/internal/nlr"
+)
+
+// oracleExpand is the single place the oracle materializes an expansion.
+func oracleExpand(elems []nlr.Element) []string {
+	//lint:allow expanddiscipline differential-test oracle: brute-force recount over the expansion is the ground truth the O(summary) aggregates are checked against
+	return nlr.Expand(elems)
+}
+
+// NaiveCount recounts fn over the fully expanded view — the Count oracle.
+func (v *View) NaiveCount(fn string) int64 {
+	var n int64
+	for _, o := range v.objs {
+		for _, sym := range oracleExpand(o.elems) {
+			if sym == fn {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// NaiveCountIn recounts fn over one object's expansion — the CountIn oracle.
+func (v *View) NaiveCountIn(object, fn string) (int64, error) {
+	i, ok := v.idx[object]
+	if !ok {
+		return 0, errUnknown(object)
+	}
+	var n int64
+	for _, sym := range oracleExpand(v.objs[i].elems) {
+		if sym == fn {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// NaiveTotal counts expanded events the slow way — the Total oracle.
+func (v *View) NaiveTotal() int64 {
+	var n int64
+	for _, o := range v.objs {
+		n += int64(len(oracleExpand(o.elems)))
+	}
+	return n
+}
+
+// NaiveSlice materializes the whole expansion and slices it — the Slice
+// oracle.
+func (v *View) NaiveSlice(object string, from, to int64) ([]string, error) {
+	i, ok := v.idx[object]
+	if !ok {
+		return nil, errUnknown(object)
+	}
+	full := oracleExpand(v.objs[i].elems)
+	if from < 0 {
+		from = 0
+	}
+	if to > int64(len(full)) {
+		to = int64(len(full))
+	}
+	if from >= to {
+		return nil, nil
+	}
+	out := make([]string, to-from)
+	copy(out, full[from:to])
+	return out, nil
+}
+
+func errUnknown(object string) error {
+	return fmt.Errorf("query: unknown object %q", object)
+}

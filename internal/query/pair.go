@@ -1,0 +1,111 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"difftrace/internal/jaccard"
+)
+
+// Pair is the set-vs-set comparison surface: a normal-side and a
+// faulty-side View queried together. This is the hypothesis-testing
+// primitive — "is CPU_Exec called twice as often in the faulty run?"
+// is pair.CountRatio("CPU_Exec").
+type Pair struct {
+	Normal *View
+	Faulty *View
+}
+
+// Ratio is a faulty/normal count comparison for one function. Value
+// handles the degenerate cases explicitly rather than returning NaN/Inf
+// surprises to callers.
+type Ratio struct {
+	Func   string `json:"func"`
+	Normal int64  `json:"normal"`
+	Faulty int64  `json:"faulty"`
+}
+
+// Value returns Faulty/Normal. Both zero → 1 (no evidence of change);
+// Normal zero with Faulty nonzero → +Inf (appeared from nothing).
+func (r Ratio) Value() float64 {
+	if r.Normal == 0 {
+		if r.Faulty == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(r.Faulty) / float64(r.Normal)
+}
+
+// String renders the ratio for interactive use ("CPU_Exec: 12 -> 24 (2.00x)").
+func (r Ratio) String() string {
+	v := r.Value()
+	if math.IsInf(v, 1) {
+		return fmt.Sprintf("%s: %d -> %d (new)", r.Func, r.Normal, r.Faulty)
+	}
+	return fmt.Sprintf("%s: %d -> %d (%.2fx)", r.Func, r.Normal, r.Faulty, v)
+}
+
+// CountRatio answers the canonical hypothesis question: how does fn's
+// total call count change from the normal run to the faulty one?
+func (p Pair) CountRatio(fn string) Ratio {
+	return Ratio{Func: fn, Normal: p.Normal.Count(fn), Faulty: p.Faulty.Count(fn)}
+}
+
+// Compare returns a Ratio for every function seen on either side, in
+// natural function order — the full aggregate comparison of the two sets.
+func (p Pair) Compare() []Ratio {
+	seen := map[string]bool{}
+	for _, fn := range p.Normal.Funcs() {
+		seen[fn] = true
+	}
+	for _, fn := range p.Faulty.Funcs() {
+		seen[fn] = true
+	}
+	fns := make([]string, 0, len(seen))
+	for fn := range seen {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return jaccard.LessNatural(fns[i], fns[j]) })
+	out := make([]Ratio, len(fns))
+	for i, fn := range fns {
+		out[i] = p.CountRatio(fn)
+	}
+	return out
+}
+
+// Changed returns Compare filtered to functions whose counts differ,
+// ordered by how far the ratio strays from 1 (most-changed first; ties
+// broken by natural function order so output is deterministic). This is
+// the one-call "what moved?" overview.
+func (p Pair) Changed() []Ratio {
+	var out []Ratio
+	for _, r := range p.Compare() {
+		if r.Normal != r.Faulty {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := deviation(out[i]), deviation(out[j])
+		if di != dj {
+			return di > dj
+		}
+		return jaccard.LessNatural(out[i].Func, out[j].Func)
+	})
+	return out
+}
+
+// deviation measures how far a ratio strays from 1, symmetrically in both
+// directions (2x and 0.5x deviate equally). Appearing/vanishing functions
+// rank above any finite change.
+func deviation(r Ratio) float64 {
+	v := r.Value()
+	if math.IsInf(v, 1) || v == 0 {
+		return math.Inf(1)
+	}
+	if v < 1 {
+		v = 1 / v
+	}
+	return v
+}

@@ -1,0 +1,262 @@
+package query
+
+// Differential property battery: every loop-arithmetic aggregate must
+// agree with its brute-force oracle (oracle.go) on seed-driven synthetic
+// traces of varying loop depth, regularity, and noise. The generators are
+// pure functions of the seed, so failures replay exactly.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"difftrace/internal/nlr"
+	"difftrace/internal/synth"
+)
+
+// genView builds a View of several synthetic objects summarized against
+// one shared table — the same shape core hands the query layer.
+func genView(seed int64) *View {
+	rng := rand.New(rand.NewSource(seed))
+	table := nlr.NewTable()
+	m := map[string][]nlr.Element{}
+	objects := 2 + rng.Intn(4)
+	for p := 0; p < objects; p++ {
+		cfg := synth.Config{
+			Prologue: rng.Intn(3),
+			Epilogue: rng.Intn(3),
+			Seed:     seed*100 + int64(p),
+		}
+		loops := 1 + rng.Intn(3)
+		for l := 0; l < loops; l++ {
+			spec := synth.LoopSpec{Body: 1 + rng.Intn(3), Iterations: 1 + rng.Intn(6)}
+			if rng.Intn(2) == 0 {
+				spec.Nested = &synth.LoopSpec{Body: 1 + rng.Intn(2), Iterations: 1 + rng.Intn(4)}
+			}
+			cfg.Loops = append(cfg.Loops, spec)
+		}
+		if rng.Intn(3) == 0 {
+			cfg.NoiseRate, cfg.NoisePool = 0.2, 2
+		}
+		m[objName(p)] = nlr.Summarize(synth.Tokens(cfg), nlr.DefaultK, table)
+	}
+	return FromNLR(m)
+}
+
+func objName(p int) string {
+	return string(rune('0'+p)) + ".0"
+}
+
+const seeds = 40
+
+func TestQueryCountMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		v := genView(seed)
+		for _, fn := range append(v.Funcs(), "never_called") {
+			if got, want := v.Count(fn), v.NaiveCount(fn); got != want {
+				t.Fatalf("seed %d: Count(%q) = %d, naive recount = %d", seed, fn, got, want)
+			}
+			for _, o := range v.Objects() {
+				got, err := v.CountIn(o, fn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := v.NaiveCountIn(o, fn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("seed %d: CountIn(%q, %q) = %d, naive = %d", seed, o, fn, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryTotalMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		v := genView(seed)
+		if got, want := v.Total(), v.NaiveTotal(); got != want {
+			t.Fatalf("seed %d: Total = %d, naive = %d", seed, got, want)
+		}
+		var sum int64
+		for _, o := range v.Objects() {
+			n, err := v.TotalIn(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += n
+		}
+		if sum != v.Total() {
+			t.Fatalf("seed %d: per-object totals sum to %d, Total = %d", seed, sum, v.Total())
+		}
+	}
+}
+
+func TestQueryCountsMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		v := genView(seed)
+		var sum int64
+		for _, fc := range v.Counts() {
+			if want := v.NaiveCount(fc.Func); fc.Count != want {
+				t.Fatalf("seed %d: Counts[%q] = %d, naive = %d", seed, fc.Func, fc.Count, want)
+			}
+			sum += fc.Count
+		}
+		// Every expanded event is some symbol's occurrence, so the profile
+		// must partition the total.
+		if sum != v.Total() {
+			t.Fatalf("seed %d: profile sums to %d, Total = %d", seed, sum, v.Total())
+		}
+	}
+}
+
+func TestQuerySliceMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		v := genView(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for _, o := range v.Objects() {
+			total, err := v.TotalIn(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			windows := [][2]int64{
+				{0, total},               // whole stream
+				{0, 0},                   // empty
+				{-3, 2},                  // clamped start
+				{total - 1, total + 10},  // clamped end
+				{total / 2, total/2 + 5}, // middle
+			}
+			for i := 0; i < 6; i++ {
+				a, b := rng.Int63n(total+2)-1, rng.Int63n(total+2)-1
+				windows = append(windows, [2]int64{a, b})
+			}
+			for _, win := range windows {
+				got, err := v.Slice(o, win[0], win[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := v.NaiveSlice(o, win[0], win[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: Slice(%q, %d, %d) = %v, naive = %v", seed, o, win[0], win[1], got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryHistogramMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		v := genView(seed)
+		for _, fn := range append(v.Funcs(), "never_called") {
+			h := v.Histogram(fn)
+			if h.Objects != len(v.Objects()) {
+				t.Fatalf("seed %d: Histogram(%q).Objects = %d, want %d", seed, fn, h.Objects, len(v.Objects()))
+			}
+			// Naive recount: bucket each object's brute-force count by hand.
+			want := map[[2]int64]int{}
+			for _, o := range v.Objects() {
+				n, err := v.NaiveCountIn(o, fn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lo, hi := int64(0), int64(0)
+				for n > hi {
+					if lo == 0 {
+						lo, hi = 1, 1
+					} else {
+						lo, hi = hi+1, 2*hi+1
+					}
+				}
+				want[[2]int64{lo, hi}]++
+			}
+			total := 0
+			for _, b := range h.Buckets {
+				if want[[2]int64{b.Lo, b.Hi}] != b.N {
+					t.Fatalf("seed %d: Histogram(%q) bucket [%d..%d] = %d, naive = %d",
+						seed, fn, b.Lo, b.Hi, b.N, want[[2]int64{b.Lo, b.Hi}])
+				}
+				total += b.N
+			}
+			if total != h.Objects {
+				t.Fatalf("seed %d: Histogram(%q) buckets cover %d objects, want %d", seed, fn, total, h.Objects)
+			}
+		}
+	}
+}
+
+func TestQueryPairRatioMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		p := Pair{Normal: genView(seed), Faulty: genView(seed + 1000)}
+		fns := map[string]bool{"never_called": true}
+		for _, fn := range p.Normal.Funcs() {
+			fns[fn] = true
+		}
+		for _, fn := range p.Faulty.Funcs() {
+			fns[fn] = true
+		}
+		for fn := range fns {
+			r := p.CountRatio(fn)
+			if r.Normal != p.Normal.NaiveCount(fn) || r.Faulty != p.Faulty.NaiveCount(fn) {
+				t.Fatalf("seed %d: CountRatio(%q) = %+v, naive = %d/%d",
+					seed, fn, r, p.Faulty.NaiveCount(fn), p.Normal.NaiveCount(fn))
+			}
+		}
+		// Compare must cover exactly the union of both sides' functions.
+		cmp := p.Compare()
+		if len(cmp) != len(fns)-1 { // minus the never_called probe
+			t.Fatalf("seed %d: Compare returned %d funcs, union has %d", seed, len(cmp), len(fns)-1)
+		}
+	}
+}
+
+func TestQueryRatioValue(t *testing.T) {
+	cases := []struct {
+		normal, faulty int64
+		want           float64
+	}{
+		{0, 0, 1},
+		{4, 8, 2},
+		{8, 4, 0.5},
+		{2, 0, 0},
+	}
+	for _, c := range cases {
+		r := Ratio{Func: "f", Normal: c.normal, Faulty: c.faulty}
+		if got := r.Value(); got != c.want {
+			t.Fatalf("Ratio{%d,%d}.Value = %v, want %v", c.normal, c.faulty, got, c.want)
+		}
+	}
+	if v := (Ratio{Func: "f", Normal: 0, Faulty: 3}).Value(); !math.IsInf(v, 1) {
+		t.Fatalf("Ratio{0,3}.Value = %v, want +Inf", v)
+	}
+}
+
+func TestQueryChangedOrdering(t *testing.T) {
+	n := FromNLR(map[string][]nlr.Element{"0.0": elemsOf("a", "a", "b", "c", "d", "d", "d")})
+	f := FromNLR(map[string][]nlr.Element{"0.0": elemsOf("a", "a", "a", "a", "b", "d", "e")})
+	p := Pair{Normal: n, Faulty: f}
+	ch := p.Changed()
+	// c vanished and e appeared (infinite deviation, natural order c < e),
+	// then d (3 -> 1, 3x) then a (2 -> 4, 2x); b is unchanged.
+	want := []string{"c", "e", "d", "a"}
+	if len(ch) != len(want) {
+		t.Fatalf("Changed returned %d entries, want %d: %+v", len(ch), len(want), ch)
+	}
+	for i, fn := range want {
+		if ch[i].Func != fn {
+			t.Fatalf("Changed[%d] = %q, want %q (full: %+v)", i, ch[i].Func, fn, ch)
+		}
+	}
+}
+
+func elemsOf(syms ...string) []nlr.Element {
+	out := make([]nlr.Element, len(syms))
+	for i, s := range syms {
+		out[i] = nlr.Element{Sym: s}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+// Package query is DiffTrace's programmatic filter/aggregate/diff layer:
+// a scriptable API over already-ingested (and already-summarized) trace
+// sets, in the spirit of Pipit's dataframe queries and the
+// hypothesis-testing workflow of interactive tracers. Users ask questions
+// like "is CPU_Exec called twice as often in the faulty run?" without
+// rerunning ingestion, NLR, or FCA.
+//
+// Every aggregate is computed by loop arithmetic over the NLR-summarized
+// sequences — a loop element contributes Count × (its body's aggregate) —
+// so queries cost O(summary size), never O(events), and compose with the
+// streaming pipeline's memory ceiling. The property suite checks each
+// aggregate differentially against the brute-force recount over
+// nlr.Expand-ed traces (see oracle.go).
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"difftrace/internal/jaccard"
+	"difftrace/internal/nlr"
+)
+
+// View is one execution side's queryable image: named objects (per-thread
+// "p.t" traces or per-process "p" merges), each backed by its summarized
+// NLR sequence. Views are immutable after construction and safe for
+// concurrent readers.
+type View struct {
+	objs []objView
+	idx  map[string]int
+}
+
+type objView struct {
+	name  string
+	elems []nlr.Element
+}
+
+// FromNLR builds a View from a per-object summarized-sequence map (the
+// shape core.Analysis.NLR holds). Objects are ordered naturally
+// ("2.0" < "10.0"), so every aggregate that enumerates objects is
+// deterministic regardless of map iteration order.
+func FromNLR(m map[string][]nlr.Element) *View {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return jaccard.LessNatural(names[i], names[j]) })
+	v := &View{idx: make(map[string]int, len(names))}
+	for _, name := range names {
+		v.idx[name] = len(v.objs)
+		v.objs = append(v.objs, objView{name: name, elems: m[name]})
+	}
+	return v
+}
+
+// Objects lists the view's object names in natural order.
+func (v *View) Objects() []string {
+	out := make([]string, len(v.objs))
+	for i, o := range v.objs {
+		out[i] = o.name
+	}
+	return out
+}
+
+// Has reports whether the view holds an object with this name.
+func (v *View) Has(object string) bool {
+	_, ok := v.idx[object]
+	return ok
+}
+
+// walkCounts adds mult-weighted symbol counts for elems into f. A loop
+// multiplies the multiplier by its count — the whole point of querying the
+// summarized form.
+func walkCounts(elems []nlr.Element, mult int64, f func(sym string, n int64)) {
+	for _, e := range elems {
+		if e.Loop == nil {
+			f(e.Sym, mult)
+			continue
+		}
+		walkCounts(e.Loop.Body, mult*int64(e.Loop.Count), f)
+	}
+}
+
+// Funcs lists every distinct symbol appearing in the view (function names,
+// and "ret:" tokens when returns survived the filter), naturally sorted.
+func (v *View) Funcs() []string {
+	seen := map[string]bool{}
+	for _, o := range v.objs {
+		walkCounts(o.elems, 1, func(sym string, _ int64) { seen[sym] = true })
+	}
+	out := make([]string, 0, len(seen))
+	for sym := range seen {
+		out = append(out, sym)
+	}
+	sort.Slice(out, func(i, j int) bool { return jaccard.LessNatural(out[i], out[j]) })
+	return out
+}
+
+// Count returns the total number of times fn occurs across all objects'
+// expanded streams (without expanding anything).
+func (v *View) Count(fn string) int64 {
+	var total int64
+	for _, o := range v.objs {
+		total += countIn(o.elems, fn)
+	}
+	return total
+}
+
+func countIn(elems []nlr.Element, fn string) int64 {
+	var n int64
+	walkCounts(elems, 1, func(sym string, c int64) {
+		if sym == fn {
+			n += c
+		}
+	})
+	return n
+}
+
+// CountIn returns fn's occurrence count within one object.
+func (v *View) CountIn(object, fn string) (int64, error) {
+	i, ok := v.idx[object]
+	if !ok {
+		return 0, fmt.Errorf("query: unknown object %q", object)
+	}
+	return countIn(v.objs[i].elems, fn), nil
+}
+
+// ObjectCount pairs an object with a count.
+type ObjectCount struct {
+	Object string `json:"object"`
+	Count  int64  `json:"count"`
+}
+
+// PerObject returns fn's count in every object, in natural object order.
+func (v *View) PerObject(fn string) []ObjectCount {
+	out := make([]ObjectCount, len(v.objs))
+	for i, o := range v.objs {
+		out[i] = ObjectCount{Object: o.name, Count: countIn(o.elems, fn)}
+	}
+	return out
+}
+
+// Counts returns every symbol's total count across the view, naturally
+// sorted by symbol — the per-function call-count profile of one execution.
+func (v *View) Counts() []FuncCount {
+	totals := map[string]int64{}
+	for _, o := range v.objs {
+		walkCounts(o.elems, 1, func(sym string, c int64) { totals[sym] += c })
+	}
+	syms := make([]string, 0, len(totals))
+	for sym := range totals {
+		syms = append(syms, sym)
+	}
+	sort.Slice(syms, func(i, j int) bool { return jaccard.LessNatural(syms[i], syms[j]) })
+	out := make([]FuncCount, len(syms))
+	for i, sym := range syms {
+		out[i] = FuncCount{Func: sym, Count: totals[sym]}
+	}
+	return out
+}
+
+// FuncCount pairs a function (symbol) with a count.
+type FuncCount struct {
+	Func  string `json:"func"`
+	Count int64  `json:"count"`
+}
+
+// Total returns the view's total expanded event count.
+func (v *View) Total() int64 {
+	var n int64
+	for _, o := range v.objs {
+		n += nlr.ExpandedLen(o.elems)
+	}
+	return n
+}
+
+// TotalIn returns one object's expanded event count.
+func (v *View) TotalIn(object string) (int64, error) {
+	i, ok := v.idx[object]
+	if !ok {
+		return 0, fmt.Errorf("query: unknown object %q", object)
+	}
+	return nlr.ExpandedLen(v.objs[i].elems), nil
+}
+
+// Slice returns the expanded tokens of object's event range [from, to) —
+// the per-trace event-slice primitive. Only the requested window is
+// materialized: loops wholly before from are skipped by length arithmetic,
+// and the walk stops at to, so cost is O(summary + (to-from)), not
+// O(events). Out-of-range indices clamp; from >= to yields nil.
+func (v *View) Slice(object string, from, to int64) ([]string, error) {
+	i, ok := v.idx[object]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown object %q", object)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return nil, nil
+	}
+	var out []string
+	var pos int64
+	sliceInto(v.objs[i].elems, from, to, &pos, &out)
+	return out, nil
+}
+
+func sliceInto(elems []nlr.Element, from, to int64, pos *int64, out *[]string) {
+	for _, e := range elems {
+		if *pos >= to {
+			return
+		}
+		if e.Loop == nil {
+			if *pos >= from {
+				*out = append(*out, e.Sym)
+			}
+			*pos++
+			continue
+		}
+		bodyLen := nlr.ExpandedLen(e.Loop.Body)
+		total := bodyLen * int64(e.Loop.Count)
+		if *pos+total <= from {
+			*pos += total
+			continue
+		}
+		for it := 0; it < e.Loop.Count && *pos < to; it++ {
+			if *pos+bodyLen <= from {
+				*pos += bodyLen
+				continue
+			}
+			sliceInto(e.Loop.Body, from, to, pos, out)
+		}
+	}
+}
+
+// Hist is a power-of-two bucketed distribution of per-object counts: how
+// many objects called fn 0 times, once, 2–3 times, 4–7, ... — the shape
+// behind "only some ranks stopped calling X".
+type Hist struct {
+	Func    string       `json:"func"`
+	Objects int          `json:"objects"`
+	Buckets []HistBucket `json:"buckets"`
+}
+
+// HistBucket covers per-object counts in [Lo, Hi] (inclusive).
+type HistBucket struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+	N  int   `json:"n"`
+}
+
+// Histogram buckets fn's per-object counts into power-of-two ranges.
+// Zero-count objects land in the [0,0] bucket. Empty buckets are omitted;
+// the remainder appear in ascending range order.
+func (v *View) Histogram(fn string) Hist {
+	h := Hist{Func: fn, Objects: len(v.objs)}
+	// bucket 0 = count 0, bucket b>=1 = counts in [2^(b-1), 2^b - 1].
+	byBucket := map[int]int{}
+	for _, o := range v.objs {
+		byBucket[histBucket(countIn(o.elems, fn))]++
+	}
+	buckets := make([]int, 0, len(byBucket))
+	for b := range byBucket {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
+		lo, hi := bucketRange(b)
+		h.Buckets = append(h.Buckets, HistBucket{Lo: lo, Hi: hi, N: byBucket[b]})
+	}
+	return h
+}
+
+func histBucket(n int64) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+func bucketRange(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	return int64(1) << uint(b-1), (int64(1) << uint(b)) - 1
+}
+
+// String renders the histogram on one line ("[0]=2 [1]=1 [4..7]=5").
+func (h Hist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s over %d objects:", h.Func, h.Objects)
+	for _, bk := range h.Buckets {
+		if bk.Lo == bk.Hi {
+			fmt.Fprintf(&b, " [%d]=%d", bk.Lo, bk.N)
+		} else {
+			fmt.Fprintf(&b, " [%d..%d]=%d", bk.Lo, bk.Hi, bk.N)
+		}
+	}
+	return b.String()
+}

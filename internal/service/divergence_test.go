@@ -1,0 +1,62 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFindDivergenceOption: the find_divergence report option appends the
+// divergence explorer section, splits the artifact cache (same pair, with
+// vs without, are distinct jobs), and caches like any other keyed option
+// (resubmitting the same request is a hit).
+func TestFindDivergenceOption(t *testing.T) {
+	svc := newTestService(t, Config{})
+	normal, faulty := writeTracePair(t, t.TempDir(), 0)
+
+	plain, err := svc.Submit(DiffRequest{Normal: normal, Faulty: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDiv, err := svc.Submit(DiffRequest{Normal: normal, Faulty: faulty, FindDivergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ID == withDiv.ID {
+		t.Fatal("find_divergence did not split the cache key: same job ID for both variants")
+	}
+	if v := waitState(t, svc, plain.ID); v.State != StateDone {
+		t.Fatalf("plain job failed: %+v", v)
+	}
+	if v := waitState(t, svc, withDiv.ID); v.State != StateDone {
+		t.Fatalf("find_divergence job failed: %+v", v)
+	}
+
+	plainRep, _, ok := svc.Artifacts(plain.ID)
+	if !ok {
+		t.Fatal("plain report missing")
+	}
+	divRep, _, ok := svc.Artifacts(withDiv.ID)
+	if !ok {
+		t.Fatal("find_divergence report missing")
+	}
+	if strings.Contains(string(plainRep), "divergence explorer") {
+		t.Fatal("plain report unexpectedly carries the divergence section")
+	}
+	if !strings.Contains(string(divRep), "divergence explorer") {
+		t.Fatalf("find_divergence report missing the divergence section:\n%s", divRep)
+	}
+	// The section must actually walk the pair: these fixtures differ, so
+	// at least one level reports diverging objects.
+	if !strings.Contains(string(divRep), "objects diverge") {
+		t.Fatalf("divergence section reports nothing on a differing pair:\n%s", divRep)
+	}
+
+	// Resubmission of the keyed variant is a cache hit — done immediately.
+	again, err := svc.Submit(DiffRequest{Normal: normal, Faulty: faulty, FindDivergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != withDiv.ID {
+		t.Fatalf("resubmission minted a new job: %s vs %s", again.ID, withDiv.ID)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -191,6 +192,11 @@ type DiffRequest struct {
 	// analyzed without expansion). Text inputs fall back to the
 	// materialized path; the report is byte-identical in every case.
 	Streaming bool `json:"streaming,omitempty"`
+	// FindDivergence appends the divergence explorer section (first
+	// divergence point per aligned NLR pair, suspect-annotated) to the
+	// rendered report. Unlike Streaming it changes the report bytes, so it
+	// participates in the artifact cache key.
+	FindDivergence bool `json:"find_divergence,omitempty"`
 }
 
 func (r *DiffRequest) defaults() {
@@ -436,7 +442,10 @@ func (s *Service) Submit(req DiffRequest) (JobView, error) {
 	// Streaming is excluded on the same precedent — the differential
 	// battery proves the report bytes are mode-independent. (The stored
 	// manifest records whichever mode actually produced the artifacts.)
-	id := store.PairKey(nh, fh, req.Filter, req.Attr, req.Linkage)
+	// FindDivergence IS included: it appends a section to the report, so
+	// the two variants are distinct artifacts.
+	id := store.PairKey(nh, fh, req.Filter, req.Attr, req.Linkage,
+		strconv.FormatBool(req.FindDivergence))
 
 	// The trace ID is minted at admission — before the cache check — so
 	// even a cache-hit submission is correlatable across logs and flight.
@@ -766,6 +775,7 @@ func (s *Service) pipeline(ctx context.Context, j *job) error {
 	// the same bytes anyway.
 	streaming := (j.req.Streaming || s.cfg.Streaming) && isPLOT1(normalRaw) && isPLOT1(faultyRaw)
 	run.SetConfig("stream", fmt.Sprintf("%t", streaming))
+	run.SetConfig("find_divergence", fmt.Sprintf("%t", j.req.FindDivergence))
 
 	reg := trace.NewRegistry()
 	opts := trace.ReadOptions{Mode: trace.Lenient, Obs: run}
@@ -832,6 +842,16 @@ func (s *Service) pipeline(ctx context.Context, j *job) error {
 	}
 	if err := rep.WriteReport(&report, core.RenderOptions{TopK: 6}); err != nil {
 		return err
+	}
+	if j.req.FindDivergence {
+		div, derr := rep.FindDivergenceContext(ctx)
+		if derr != nil {
+			return derr
+		}
+		report.WriteByte('\n')
+		if err := div.Render(&report); err != nil {
+			return err
+		}
 	}
 
 	manifest := run.Manifest()
